@@ -1,0 +1,38 @@
+# Convenience targets for the MSSG reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-quick:  # smaller workloads for a fast shape check
+	REPRO_BENCH_SCALE=0.4 REPRO_BENCH_QUERIES=6 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/semantic_graph_analysis.py
+	$(PYTHON) examples/backend_comparison.py
+	$(PYTHON) examples/massive_scale_projection.py
+
+figures:  # regenerate every table/figure via the CLI
+	for id in table5.1 fig5.1 fig5.2 fig5.3 fig5.4 fig5.5 fig5.6 fig5.7 fig5.8 fig5.9; do \
+		$(PYTHON) -m repro experiment $$id; \
+	done
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,45 @@
+"""Ablation — grDB block-cache size vs search time.
+
+Chapter 5's closing observation: grDB degrades "when the grDB cache size
+becomes negligible compared to the size of the graph".  This sweep holds
+the deployment fixed (PubMed-L, 4 back-ends — the thrashing regime of
+Fig. 5.6) and varies the per-node cache budget.
+"""
+
+from conftest import run_once
+
+from repro.experiments import PUBMED_L, Deployment, run_search_experiment
+from repro.experiments.report import format_series_table
+
+BUDGETS_KB = (4, 16, 64, 256, 1024)
+
+
+def run_cache_sweep(scale: float):
+    series: dict[str, dict[int, float]] = {"grDB": {}}
+    for kb in BUDGETS_KB:
+        res = run_search_experiment(
+            PUBMED_L,
+            Deployment(backend="grDB", num_backends=4, cache_bytes=kb << 10),
+            scale=scale,
+            num_queries=5,
+            min_distance=3,
+        )
+        series["grDB"][kb] = res.mean_seconds
+    return series
+
+
+def test_ablation_cache(benchmark, bench_scale, save_result):
+    series = run_once(benchmark, lambda: run_cache_sweep(bench_scale))
+    text = format_series_table(
+        "Ablation: grDB search time vs block-cache budget (PubMed-L, 4 back-ends)",
+        "cache KB", series,
+    )
+    save_result("ablation_cache", text)
+
+    by_budget = series["grDB"]
+    # Bigger caches never hurt...
+    budgets = sorted(by_budget)
+    for small, large in zip(budgets, budgets[1:]):
+        assert by_budget[large] <= by_budget[small] * 1.02
+    # ...and the full sweep buys a significant improvement.
+    assert by_budget[budgets[-1]] < 0.9 * by_budget[budgets[0]]

@@ -1,0 +1,53 @@
+"""Ablation — Algorithm 1 vs Algorithm 2 and the pipelining threshold.
+
+Algorithm 2 overlaps fringe communication with computation by shipping
+threshold-sized chunks eagerly (§4.2).  On a slow interconnect the overlap
+pays; the threshold trades per-message overhead (too small) against lost
+overlap (too large).
+"""
+
+from conftest import run_once
+
+from repro.experiments import PUBMED_S, Deployment, run_search_experiment
+from repro.experiments.report import format_series_table
+from repro.experiments.harness import build_and_ingest
+
+THRESHOLDS = (16, 64, 256, 1024)
+
+
+def run_pipeline_sweep(scale: float):
+    dep = Deployment(backend="HashMap", num_backends=8)
+    mssg, _, _ = build_and_ingest(PUBMED_S, dep, scale)
+    series: dict[str, dict[int, float]] = {"level-sync (Alg 1)": {}, "pipelined (Alg 2)": {}}
+    try:
+        base = run_search_experiment(
+            PUBMED_S, dep, scale=scale, num_queries=6, mssg=mssg
+        )
+        for t in THRESHOLDS:
+            res = run_search_experiment(
+                PUBMED_S, dep, scale=scale, num_queries=6, mssg=mssg,
+                pipelined=True, threshold=t,
+            )
+            series["pipelined (Alg 2)"][t] = res.mean_seconds
+            series["level-sync (Alg 1)"][t] = base.mean_seconds
+    finally:
+        mssg.close()
+    return series
+
+
+def test_ablation_pipeline(benchmark, bench_scale, save_result):
+    series = run_once(benchmark, lambda: run_pipeline_sweep(bench_scale))
+    text = format_series_table(
+        "Ablation: pipelined BFS threshold (PubMed-S, 8 back-ends)",
+        "threshold", series,
+    )
+    save_result("ablation_pipeline", text)
+
+    alg1 = next(iter(series["level-sync (Alg 1)"].values()))
+    pipelined = series["pipelined (Alg 2)"]
+    # The best pipelined configuration is at least competitive with the
+    # level-synchronous algorithm (the overlap pays for its overhead).
+    assert min(pipelined.values()) <= alg1 * 1.10
+    # Extremely small chunks pay per-message overhead: the best threshold
+    # is not the smallest one or beats it.
+    assert min(pipelined.values()) <= pipelined[min(THRESHOLDS)]

@@ -1,0 +1,61 @@
+"""Figure 5.1 — search performance of in-memory GraphDBs on PubMed-S.
+
+Paper's claims: Array beats HashMap (hash lookup per adjacency access);
+the gap matters more at longer path lengths, where fringe sizes grow
+exponentially; and "when increasing the number of processors, this
+overhead is spread over multiple processors and the difference between
+Array and HashMap is lessened."
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig_5_1
+
+
+def test_fig_5_1(benchmark, bench_scale, bench_queries, save_result):
+    series, text = run_once(
+        benchmark, lambda: fig_5_1(scale=bench_scale, num_queries=bench_queries)
+    )
+    save_result("fig_5_1", text)
+
+    array, hashmap = series["Array"], series["HashMap"]
+    distances = sorted(set(array) & set(hashmap))
+    assert len(distances) >= 2
+    long_paths = [d for d in distances if d >= 2]
+    # Array is the lower bound at every measured long path length.
+    for d in long_paths:
+        assert array[d] <= hashmap[d], f"HashMap beat Array at distance {d}"
+    # The absolute gap widens with path length (exponential fringe).
+    gaps = [hashmap[d] - array[d] for d in distances]
+    assert gaps[-1] > gaps[0]
+    # Search time increases with path length for both backends.
+    for s in (array, hashmap):
+        xs = sorted(s)
+        assert s[xs[-1]] > s[xs[0]]
+
+
+def test_fig_5_1_gap_shrinks_with_processors(benchmark, bench_scale, bench_queries, save_result):
+    """The paper's processor-count observation, measured at 4 vs 16 nodes."""
+
+    def sweep():
+        out = {}
+        for p in (4, 16):
+            out[p] = fig_5_1(
+                scale=bench_scale, num_queries=bench_queries, num_backends=p,
+                render=False,
+            )
+        return out
+
+    by_p = run_once(benchmark, sweep)
+    rows = []
+    for p, series in by_p.items():
+        longest = max(series["Array"])
+        gap = series["HashMap"][longest] - series["Array"][longest]
+        rows.append((p, gap))
+    save_result(
+        "fig_5_1_gap",
+        "\n".join(f"p={p}: HashMap-Array gap = {g:.6f} s" for p, g in rows),
+    )
+    gap4 = dict(rows)[4]
+    gap16 = dict(rows)[16]
+    assert gap16 < gap4, "the in-memory overhead gap should shrink with processors"

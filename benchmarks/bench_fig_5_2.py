@@ -1,0 +1,32 @@
+"""Figure 5.2 — BerkeleyDB and grDB with/without their block caches.
+
+Paper's claims: "caching can reduce the execution time up to 50% on both
+implementations, especially for longer path queries."
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig_5_2
+
+
+def test_fig_5_2(benchmark, bench_scale, bench_queries, save_result):
+    series, text = run_once(
+        benchmark, lambda: fig_5_2(scale=bench_scale, num_queries=bench_queries)
+    )
+    save_result("fig_5_2", text)
+
+    for backend in ("BerkeleyDB", "grDB"):
+        cached = series[backend]
+        uncached = series[f"{backend} (no cache)"]
+        longest = max(set(cached) & set(uncached))
+        # Cache helps, and markedly so on the longest paths (>= ~25% off,
+        # the paper reports up to 50%).
+        assert cached[longest] < uncached[longest]
+        assert cached[longest] <= 0.75 * uncached[longest], (
+            f"{backend}: cache saved too little at distance {longest}"
+        )
+        # Short paths barely touch storage, so the effect shrinks there.
+        shortest = min(set(cached) & set(uncached))
+        short_ratio = uncached[shortest] / cached[shortest]
+        long_ratio = uncached[longest] / cached[longest]
+        assert long_ratio >= short_ratio * 0.9

@@ -1,0 +1,33 @@
+"""Figure 5.5 — ingestion of PubMed-L: 8 front-ends, 4/8/16 back-ends.
+
+Paper's claims: with the larger graph, grDB has "a significant advantage"
+over BerkeleyDB (whose bar is literally off the chart, >1600s);
+"the StreamDB instance has unrivaled ingestion performance" because it
+only appends to disk.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig_5_5
+
+
+def test_fig_5_5(benchmark, bench_scale, save_result):
+    series, text = run_once(benchmark, lambda: fig_5_5(scale=bench_scale))
+    save_result("fig_5_5", text)
+
+    for p in (4, 8, 16):
+        # StreamDB's append-only log is unrivaled among the disk-based
+        # stores, and stays within noise of the in-memory HashMap bound
+        # (at 16 back-ends both are front-end-limited).
+        disk_based = [series[b][p] for b in ("MySQL", "BerkeleyDB", "grDB")]
+        assert series["StreamDB"][p] < min(disk_based)
+        assert series["StreamDB"][p] <= series["HashMap"][p] * 1.5
+        # grDB clearly ahead of BerkeleyDB at large-graph scale.
+        assert series["grDB"][p] < 0.5 * series["BerkeleyDB"][p]
+        # MySQL remains the slowest ingester.
+        assert series["MySQL"][p] == max(series[b][p] for b in series)
+
+    # More back-end storage nodes make ingestion faster for the
+    # storage-bound backends.
+    for backend in ("MySQL", "BerkeleyDB", "grDB"):
+        assert series[backend][16] < series[backend][4]

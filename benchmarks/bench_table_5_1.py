@@ -1,0 +1,37 @@
+"""Table 5.1 — statistics for the graphs used in experiments.
+
+Regenerates the scaled PubMed-S / PubMed-L / Syn-2B stand-ins and checks
+their degree shapes against the paper's reported statistics.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table_5_1
+from repro.experiments.workloads import WORKLOADS
+
+
+def test_table_5_1(benchmark, bench_scale, save_result):
+    stats, text = run_once(benchmark, lambda: table_5_1(scale=bench_scale))
+    save_result("table_5_1", text)
+
+    by_name = {s.name: s for s in stats}
+    for name, s in by_name.items():
+        paper = WORKLOADS[name]
+        # Average degree within 15% of the paper's (14.84 / 19.48 / 20.0).
+        assert abs(s.avg_degree - paper.paper_avg_degree) / paper.paper_avg_degree < 0.15
+        # Min degree 1, as in every row of Table 5.1.
+        assert s.min_degree == 1
+        # Scale-free: hubs far above the mean.
+        assert s.max_degree > 10 * s.avg_degree
+
+    # The PubMed graphs carry the extreme relative hubs of the extractions
+    # (~19% and ~23% of |V|); the synthetic R-MAT graph stays much flatter.
+    assert by_name["PubMed-S"].max_degree / by_name["PubMed-S"].vertices > 0.10
+    assert by_name["PubMed-L"].max_degree / by_name["PubMed-L"].vertices > 0.10
+    assert by_name["Syn-2B"].max_degree / by_name["Syn-2B"].vertices < 0.10
+    # Relative sizes preserved: S < L < Syn-2B in vertices and edges.
+    assert (
+        by_name["PubMed-S"].vertices
+        < by_name["PubMed-L"].vertices
+        < by_name["Syn-2B"].vertices
+    )

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of the paper's chapter 5,
+prints the rendered series, saves it under ``benchmarks/results/``, and
+asserts the paper's qualitative claims about that artifact (who wins, by
+roughly what factor, where crossovers fall).
+
+Scale: set ``REPRO_BENCH_SCALE`` (default 1.0) to grow the workloads
+toward paper sizes; ``REPRO_BENCH_QUERIES`` adjusts queries per figure.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_queries() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "8"))
+
+
+@pytest.fixture()
+def save_result():
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        print(text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Run a whole-figure experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Semantic-graph analysis: ontologies, validation, typed queries.
+
+Demonstrates the semantic layer of MSSG (paper §1, Figure 1.1): build a
+typed PubMed-style citation graph against its ontology, show that the
+ontology rejects ill-typed edges, validate an untrusted graph, then ingest
+the instance graph into MSSG and run the registered analyses — BFS
+relationship queries, degree census, and k-hop neighborhood counts.
+
+Run:  python examples/semantic_graph_analysis.py
+"""
+
+from repro import MSSG, MSSGConfig
+from repro.graphgen import pubmed_ontology, pubmed_semantic_graph
+from repro.ontology import SemanticGraph, validate_graph
+from repro.util import OntologyError
+
+
+def main() -> None:
+    onto = pubmed_ontology()
+    print(f"Ontology {onto.name!r}:")
+    print(f"  vertex types: {sorted(onto.vertex_types)}")
+    print(f"  edge types:   {sorted(onto.edge_types)}")
+
+    # --- The ontology constrains instance graphs (Figure 1.1's point) ----
+    g = SemanticGraph(onto)
+    g.add_vertex(0, "Article")
+    g.add_vertex(1, "Author")
+    g.add_vertex(2, "Journal")
+    g.add_edge(1, 0, "authored")  # fine
+    g.add_edge(0, 2, "published_in")  # fine
+    try:
+        g.add_edge(1, 2, "authored")  # an Author cannot author a Journal
+    except OntologyError as err:
+        print(f"\nRejected ill-typed edge, as intended:\n  {err}")
+
+    # --- Validate an untrusted graph wholesale ---------------------------
+    untrusted = SemanticGraph()  # no ontology attached: anything goes in
+    untrusted.add_vertex(0, "Article")
+    untrusted.add_vertex(1, "Spaceship")
+    untrusted.add_edge(0, 1, "cites")
+    violations = validate_graph(untrusted, onto)
+    print(f"\nValidation of an untrusted graph found {len(violations)} problem(s):")
+    for v in violations:
+        print(f"  [{v.kind}] {v.detail}")
+
+    # --- A full typed instance graph, ingested into MSSG -----------------
+    pubmed = pubmed_semantic_graph(num_articles=400, num_authors=150, seed=3)
+    assert validate_graph(pubmed) == []
+    print(f"\nGenerated {pubmed.name!r}: {pubmed.num_vertices} vertices,")
+    for vtype, count in sorted(pubmed.type_histogram().items()):
+        print(f"  {vtype:<10} {count:>5}")
+
+    with MSSG(MSSGConfig(num_backends=4, backend="grDB")) as mssg:
+        # Typed ingestion: validates against the ontology and replicates
+        # vertex-type metadata to every back-end in one call.
+        _, codes = mssg.ingest_semantic(pubmed)
+
+        # How closely related are two articles — and through what chain?
+        answer = mssg.query_bfs(0, 399)
+        print(f"\ndistance(article 0 -> article 399) = {answer.result} hops")
+        chain = mssg.query("path", source=0, dest=399).result
+        labels = " -> ".join(f"{v}({pubmed.vertex_type(v)})" for v in chain)
+        print(f"connection chain: {labels}")
+
+        # The same search through an ontology lens: citations only.
+        cites_only = mssg.query(
+            "typed-bfs", source=0, dest=399, allowed_codes=[codes["Article"]]
+        ).result
+        print(
+            f"articles-only distance: {cites_only if cites_only is not None else 'unreachable'}"
+            " (restricting traversable vertex types lengthens or severs paths)"
+        )
+
+        # Which entities have the largest stored degree?
+        probe = [0, 1, pubmed.num_vertices - 1]
+        degrees = mssg.query("degree", vertices=probe).result
+        print(f"degrees of {probe}: {degrees}")
+
+        # How much of the graph sits within 2 hops of article 0?
+        neighborhood = mssg.query("neighborhood", source=0, hops=2).result
+        share = neighborhood / pubmed.num_vertices
+        print(
+            f"2-hop neighborhood of article 0: {neighborhood} vertices "
+            f"({share:.0%} of the graph — the small-world effect the paper "
+            "cites as the reason long searches touch most of the data)"
+        )
+
+        # And the global structure in one query.
+        comp = mssg.query("components").result
+        print(f"connected components: {comp['num_components']} (largest {comp['sizes'][0]})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Parallel out-of-core BFS (Algorithms 1 and 2) and supporting structures."""
+
+from .oocbfs import NOT_FOUND, BFSConfig, BFSRankResult, oocbfs_program
+from .pipelined import pipelined_bfs_program
+from .sequential import bfs_distance, bfs_levels, sample_queries_by_distance
+from .visited import INFINITY, ExternalVisited, InMemoryVisited, VisitedLevels
+
+__all__ = [
+    "BFSConfig",
+    "BFSRankResult",
+    "ExternalVisited",
+    "INFINITY",
+    "InMemoryVisited",
+    "NOT_FOUND",
+    "VisitedLevels",
+    "bfs_distance",
+    "bfs_levels",
+    "oocbfs_program",
+    "pipelined_bfs_program",
+    "sample_queries_by_distance",
+]

@@ -1,0 +1,112 @@
+"""Path-reconstructing parallel BFS.
+
+The paper's motivating use case (ch. 1, after Kolda et al.) is
+*relationship analysis*: not just "how far apart are these two entities"
+but "show me the chain that connects them".  This variant of Algorithm 1
+tracks a parent pointer for every vertex it settles and, once the
+destination is settled, reconstructs the actual vertex chain.
+
+Parents travel with the fringe exchange as ``(vertex, parent)`` pairs;
+after the search, the scattered parent maps are merged (one entry per
+visited vertex — the same memory class as the visited structure the paper
+already replicates per node) and the path is walked backward from the
+destination.  Unlike the distance-only algorithms, expansion here is
+per-vertex so each discovered neighbor knows which fringe vertex produced
+it, and termination triggers on the destination being *settled* rather
+than merely sighted, which keeps every recorded parent minimal-level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphdb.interface import GraphDB
+from ..simcluster.cluster import RankContext
+from .oocbfs import BFSConfig
+from .visited import VisitedLevels
+
+__all__ = ["path_bfs_program"]
+
+
+def path_bfs_program(
+    ctx: RankContext,
+    db: GraphDB,
+    cfg: BFSConfig,
+    visited: VisitedLevels,
+    owner_of=None,
+):
+    """Rank program: BFS with parent tracking; returns the path (or None).
+
+    The returned path is ``[source, ..., dest]`` with ``len(path) - 1``
+    equal to the hop distance; every rank returns the same value.
+    """
+    comm = ctx.comm
+    size = comm.size
+    rank = comm.rank
+    if owner_of is None:
+        owner_of = lambda vs: vs % size  # noqa: E731
+
+    source, dest = int(cfg.source), int(cfg.dest)
+    if source == dest:
+        return [source]
+
+    parents: dict[int, int] = {source: source}
+    visited.mark(source, 0)
+    fringe = np.array([source], dtype=np.int64)
+    levcnt = 0
+    found = False
+
+    while not found:
+        levcnt += 1
+        # Per-vertex expansion keeps the (parent -> child) attribution.
+        batch_seen: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for v in fringe:
+            v = int(v)
+            for u in db.get_adjacency(v):
+                u = int(u)
+                if u not in batch_seen and not visited.is_visited(u):
+                    batch_seen.add(u)
+                    pairs.append((u, v))
+
+        if cfg.owner_known:
+            new = np.array([u for u, _ in pairs], dtype=np.int64)
+            owners = owner_of(new) if len(new) else np.empty(0, dtype=np.int64)
+            outgoing = [
+                [pairs[i] for i in np.flatnonzero(owners == q)] for q in range(size)
+            ]
+            for i in np.flatnonzero(owners != rank):
+                visited.mark(pairs[i][0], levcnt)
+            received = yield from comm.alltoall(outgoing)
+        else:
+            received = yield from comm.allgather(pairs)
+
+        fresh: list[int] = []
+        settled_dest = False
+        for chunk in received:
+            for u, parent in chunk:
+                if not visited.is_visited(u):
+                    visited.mark(u, levcnt)
+                    parents[u] = parent
+                    fresh.append(u)
+                    if u == dest:
+                        settled_dest = True
+        fringe = np.array(sorted(fresh), dtype=np.int64)
+
+        found, total = yield from comm.allreduce(
+            (settled_dest, len(fringe)), lambda a, b: (a[0] or b[0], a[1] + b[1])
+        )
+        if not found and (total == 0 or levcnt >= cfg.max_levels):
+            return None
+
+    # Merge the scattered parent maps and walk backward from dest.
+    all_parents = yield from comm.allreduce(dict(parents), lambda a, b: {**a, **b})
+    path = [dest]
+    current = dest
+    while current != source:
+        current = all_parents[current]
+        path.append(current)
+        if len(path) > cfg.max_levels + 2:
+            return None  # defensive: corrupt parent chain
+    path.reverse()
+    return path

@@ -1,0 +1,153 @@
+"""Algorithm 2: pipelined parallel out-of-core breadth-first search.
+
+The communication-overlapping variant: while a rank is still expanding the
+current fringe, it ships next-level fringe *chunks* to their owners as soon
+as a per-destination buffer passes ``threshold`` (lines 16–19), and drains
+any chunks that have already arrived between expansion batches (lines
+24–27).  Because DataCutter sends are non-blocking, the transfer of early
+chunks overlaps the remaining disk reads of the level; at the level end
+only the stragglers are waited for.
+
+Level-end protocol: leftover buffers are flushed, then an alltoall of
+per-destination chunk counts tells every rank exactly how many data
+messages to drain before the found/termination allreduce — preserving the
+algorithm's level-synchronous semantics deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphdb.interface import GraphDB
+from ..simcluster.cluster import RankContext
+from ..util.longarray import LongArray
+from .oocbfs import BFSConfig, BFSRankResult, _merge_found
+from .visited import VisitedLevels
+
+__all__ = ["pipelined_bfs_program"]
+
+TAG_FRINGE_CHUNK = 77
+
+
+def pipelined_bfs_program(
+    ctx: RankContext,
+    db: GraphDB,
+    cfg: BFSConfig,
+    visited: VisitedLevels,
+    threshold: int = 256,
+    poll_batch: int = 64,
+    owner_of=None,
+):
+    """Rank program (generator) implementing Algorithm 2.
+
+    ``threshold`` is the pipelining chunk size of the pseudocode;
+    ``poll_batch`` is how many fringe vertices are expanded between polls
+    of the incoming message queue; ``owner_of`` as in Algorithm 1.
+    """
+    comm = ctx.comm
+    size = comm.size
+    rank = comm.rank
+    if owner_of is None:
+        owner_of = lambda vs: vs % size  # noqa: E731 - the paper's default map
+    result = BFSRankResult()
+    start_time = ctx.clock.now
+    edges_before = db.stats.edges_scanned
+
+    if cfg.source == cfg.dest:
+        result.found_level = 0
+        result.seconds = ctx.clock.now - start_time
+        return result
+
+    visited.mark(cfg.source, 0)
+    fringe = np.array([cfg.source], dtype=np.int64)
+    levcnt = 0
+    next_fringe = LongArray()
+
+    def absorb(vertices: np.ndarray, level: int) -> None:
+        """Receiver-side filter (lines 25–27): keep the still-unvisited."""
+        fresh = visited.unvisited(np.unique(vertices))
+        visited.mark_many(fresh, level)
+        next_fringe.extend(fresh)
+
+    while True:
+        levcnt += 1
+        buffers: list[LongArray] = [LongArray() for _ in range(size)]
+        sent_chunks = [0] * size
+        received_chunks = [0] * size
+        found_here = False
+
+        def flush(q: int) -> None:
+            if q == rank:
+                absorb(buffers[q].to_numpy(), levcnt)
+            else:
+                comm.send(q, buffers[q].to_numpy(), tag=TAG_FRINGE_CHUNK)
+                sent_chunks[q] += 1
+            buffers[q].clear()
+
+        if cfg.prefetch:
+            db.prefetch_fringe(fringe)
+        for batch_start in range(0, max(len(fringe), 1), poll_batch):
+            batch = fringe[batch_start : batch_start + poll_batch]
+            out = LongArray()
+            db.expand_fringe(batch, out)
+            neighbors = out.view()
+            if len(neighbors) and np.any(neighbors == cfg.dest):
+                found_here = True
+            candidates = np.unique(neighbors) if len(neighbors) else neighbors
+            new = visited.unvisited(candidates)
+
+            if cfg.owner_known:
+                owners = owner_of(new)
+                visited.mark_many(new[owners != rank], levcnt)
+                for q in range(size):
+                    part = new[owners == q]
+                    if len(part):
+                        buffers[q].extend(part)
+                        if len(buffers[q]) >= threshold:
+                            flush(q)
+            else:
+                # Unknown mapping: every chunk goes to everyone (broadcast),
+                # and is transferred to local storage as well (lines 20–22).
+                if len(new):
+                    for q in range(size):
+                        buffers[q].extend(new)
+                        if len(buffers[q]) >= threshold:
+                            flush(q)
+
+            # Drain any chunks that have already arrived (lines 24–27);
+            # overlapping this with expansion is the algorithm's point.
+            while True:
+                msg = yield from comm.try_recv(tag=TAG_FRINGE_CHUNK)
+                if msg is None:
+                    break
+                received_chunks[msg.source] += 1
+                absorb(np.asarray(msg.payload, dtype=np.int64), levcnt)
+
+        # Level end: flush leftovers, settle message counts, drain stragglers.
+        for q in range(size):
+            if len(buffers[q]):
+                flush(q)
+        expected = yield from comm.alltoall(sent_chunks)
+        for q in range(size):
+            need = (expected[q] if q != rank else 0) - received_chunks[q]
+            for _ in range(need):
+                msg = yield from comm.recv(source=q, tag=TAG_FRINGE_CHUNK)
+                absorb(np.asarray(msg.payload, dtype=np.int64), levcnt)
+
+        fringe = next_fringe.to_numpy()
+        next_fringe.clear()
+        result.fringe_vertices += len(fringe)
+        result.levels_expanded = levcnt
+
+        found_any, total_new = yield from comm.allreduce(
+            (found_here, len(fringe)), _merge_found
+        )
+        if found_any:
+            result.found_level = levcnt
+            break
+        if total_new == 0 or levcnt >= cfg.max_levels:
+            break
+
+    result.edges_scanned = db.stats.edges_scanned - edges_before
+    result.seconds = ctx.clock.now - start_time
+    return result

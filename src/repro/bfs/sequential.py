@@ -1,0 +1,92 @@
+"""Reference sequential BFS over CSR graphs.
+
+Used to pick benchmark queries by true path length (the figures bucket
+query times by source-destination distance) and to validate the parallel
+out-of-core algorithms against ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphgen.csr import CSRGraph
+
+__all__ = ["bfs_levels", "bfs_distance", "sample_queries_by_distance"]
+
+UNREACHED = -1
+
+
+def _concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Vectorized ``concatenate([arange(s, e) for s, e in zip(starts, ends)])``."""
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts
+    return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """Level of every vertex from ``source`` (-1 where unreachable)."""
+    n = graph.num_vertices
+    levels = np.full(n, UNREACHED, dtype=np.int64)
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    levels[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    xadj, adj = graph.xadj, graph.adj
+    while len(frontier):
+        depth += 1
+        # Vectorized gather of all frontier adjacencies.
+        idx = _concat_ranges(xadj[frontier], xadj[frontier + 1])
+        if len(idx) == 0:
+            break
+        neigh = np.unique(adj[idx])
+        new = neigh[levels[neigh] == UNREACHED]
+        levels[new] = depth
+        frontier = new
+    return levels
+
+
+def bfs_distance(graph: CSRGraph, source: int, dest: int) -> int:
+    """Hop distance between two vertices (-1 if disconnected)."""
+    return int(bfs_levels(graph, source)[dest])
+
+
+def sample_queries_by_distance(
+    graph: CSRGraph,
+    num_queries: int,
+    seed: int = 0,
+    min_distance: int = 1,
+    max_distance: int | None = None,
+) -> list[tuple[int, int, int]]:
+    """Random ``(source, dest, distance)`` queries spanning path lengths.
+
+    Mirrors the paper's methodology: "100 random BFS queries were executed
+    ... and the query execution times are averaged based on the path length
+    between the source and destination vertices."  Sampling draws random
+    sources, computes their level sets, and picks destinations stratified
+    across the available distances so every bucket is populated.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    queries: list[tuple[int, int, int]] = []
+    attempts = 0
+    while len(queries) < num_queries and attempts < num_queries * 10:
+        attempts += 1
+        source = int(rng.integers(0, n))
+        if graph.degree(source) == 0:
+            continue
+        levels = bfs_levels(graph, source)
+        reachable_max = int(levels.max())
+        hi = min(reachable_max, max_distance) if max_distance else reachable_max
+        if hi < min_distance:
+            continue
+        want = int(rng.integers(min_distance, hi + 1))
+        candidates = np.flatnonzero(levels == want)
+        if len(candidates) == 0:
+            continue
+        dest = int(candidates[rng.integers(0, len(candidates))])
+        queries.append((source, dest, want))
+    return queries

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   write a scale-free workload to an edge file (ascii/binary)
+``stats``      Table 5.1-style statistics for an edge file
+``search``     ingest an edge file into a simulated deployment and run
+               relationship queries
+``experiment`` regenerate one of the paper's tables/figures by id
+``list``       list available experiments and workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import experiments
+from .framework import MSSG, MSSGConfig
+from .graphgen import (
+    graph_stats,
+    preferential_attachment,
+    pubmed_like,
+    read_ascii_edges,
+    read_binary_edges,
+    rmat_edges,
+    write_ascii_edges,
+    write_binary_edges,
+)
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "table5.1": experiments.table_5_1,
+    "fig5.1": experiments.fig_5_1,
+    "fig5.2": experiments.fig_5_2,
+    "fig5.3": experiments.fig_5_3,
+    "fig5.4": experiments.fig_5_4,
+    "fig5.5": experiments.fig_5_5,
+    "fig5.6": experiments.fig_5_6,
+    "fig5.7": experiments.fig_5_7,
+    "fig5.8": experiments.fig_5_8,
+    "fig5.9": experiments.fig_5_9,
+}
+
+_GENERATORS = ("pubmed", "ba", "rmat")
+
+
+def _read_edges(path: str) -> np.ndarray:
+    if path.endswith(".bin"):
+        with open(path, "rb") as f:
+            return read_binary_edges(f)
+    with open(path) as f:
+        return read_ascii_edges(f)
+
+
+def _cmd_generate(args) -> int:
+    if args.generator == "pubmed":
+        edges = pubmed_like(args.vertices, avg_degree=args.avg_degree, seed=args.seed)
+    elif args.generator == "ba":
+        edges = preferential_attachment(
+            args.vertices, max(1, int(args.avg_degree // 2)), seed=args.seed
+        )
+    else:
+        scale = max(2, int(np.ceil(np.log2(args.vertices))))
+        edges = rmat_edges(
+            scale, int(args.avg_degree * args.vertices // 2), seed=args.seed
+        )
+    if args.output.endswith(".bin"):
+        with open(args.output, "wb") as f:
+            write_binary_edges(f, edges)
+    else:
+        with open(args.output, "w") as f:
+            write_ascii_edges(f, edges)
+    print(graph_stats(edges, name=args.generator).row())
+    print(f"wrote {len(edges):,} edges to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    edges = _read_edges(args.edges)
+    s = graph_stats(edges, name=args.edges)
+    print(s.header())
+    print(s.row())
+    return 0
+
+
+def _cmd_search(args) -> int:
+    edges = _read_edges(args.edges)
+    config = MSSGConfig(
+        num_backends=args.backends,
+        num_frontends=args.frontends,
+        backend=args.backend,
+        declustering=args.declustering,
+    )
+    with MSSG(config) as mssg:
+        report = mssg.ingest(edges)
+        print(
+            f"ingested {report.edges_ingested:,} edges in {report.seconds:.4f} "
+            f"virtual s ({report.edges_per_second:,.0f} edges/s)"
+        )
+        for pair in args.query:
+            s, d = (int(x) for x in pair.split(":"))
+            answer = mssg.query_bfs(s, d, pipelined=args.pipelined)
+            hops = answer.result if answer.result is not None else "unreachable"
+            print(
+                f"distance({s} -> {d}) = {hops}   "
+                f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]"
+            )
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    fn = _EXPERIMENTS.get(args.id)
+    if fn is None:
+        print(f"unknown experiment {args.id!r}; try: {', '.join(sorted(_EXPERIMENTS))}")
+        return 2
+    _, text = fn(scale=args.scale)
+    print(text)
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    print("workloads:  ", ", ".join(sorted(experiments.WORKLOADS)))
+    print("generators: ", ", ".join(_GENERATORS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MSSG reproduction: massive-scale semantic graph framework",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a scale-free edge file")
+    g.add_argument("output", help="output path (.bin for binary, else ascii)")
+    g.add_argument("--generator", choices=_GENERATORS, default="pubmed")
+    g.add_argument("--vertices", type=int, default=4000)
+    g.add_argument("--avg-degree", type=float, default=14.84)
+    g.add_argument("--seed", type=int, default=0)
+    g.set_defaults(func=_cmd_generate)
+
+    s = sub.add_parser("stats", help="Table 5.1-style stats for an edge file")
+    s.add_argument("edges")
+    s.set_defaults(func=_cmd_stats)
+
+    q = sub.add_parser("search", help="ingest an edge file and run BFS queries")
+    q.add_argument("edges")
+    q.add_argument("--query", action="append", default=[], metavar="SRC:DST")
+    q.add_argument("--backend", default="grDB")
+    q.add_argument("--backends", type=int, default=4)
+    q.add_argument("--frontends", type=int, default=1)
+    q.add_argument("--declustering", default="vertex-rr")
+    q.add_argument("--pipelined", action="store_true")
+    q.set_defaults(func=_cmd_search)
+
+    e = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    e.add_argument("id", help="e.g. table5.1, fig5.4")
+    e.add_argument("--scale", type=float, default=1.0)
+    e.set_defaults(func=_cmd_experiment)
+
+    ls = sub.add_parser("list", help="list experiments and workloads")
+    ls.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

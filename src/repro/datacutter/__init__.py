@@ -1,0 +1,15 @@
+"""DataCutter-style component middleware: filters, streams, placement."""
+
+from .filter import END_OF_STREAM, Filter, FilterContext
+from .layout import FilterGraph, FilterSpec, StreamSpec
+from .runtime import DataCutterRuntime
+
+__all__ = [
+    "DataCutterRuntime",
+    "END_OF_STREAM",
+    "Filter",
+    "FilterContext",
+    "FilterGraph",
+    "FilterSpec",
+    "StreamSpec",
+]

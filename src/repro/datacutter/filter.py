@@ -1,0 +1,96 @@
+"""DataCutter-style filters.
+
+DataCutter (§3.1) structures an application as *filters* exchanging data
+through unidirectional *logical streams*.  A filter reads only from its
+input streams and writes only to its output streams; the runtime decides
+placement and carries data between hosts.
+
+A filter here is a class with ``init/process/finalize`` hooks, written as
+generator methods so cross-host stream reads can suspend into the
+simulated cluster's scheduler::
+
+    class Doubler(Filter):
+        def process(self, ctx):
+            while True:
+                item = yield from ctx.read("in")
+                if item is END_OF_STREAM:
+                    break
+                ctx.write("out", item * 2)
+            ctx.close_output("out")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Filter", "FilterContext", "END_OF_STREAM"]
+
+
+class _EndOfStream:
+    """Sentinel delivered once per producer when a stream closes."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "END_OF_STREAM"
+
+
+END_OF_STREAM = _EndOfStream()
+
+
+class Filter:
+    """Base class for user-defined processing components.
+
+    Subclasses override any of :meth:`init`, :meth:`process`,
+    :meth:`finalize`; each is a generator (use ``yield from`` for stream
+    reads, or include an unreachable ``yield`` if it never suspends —
+    the runtime also accepts plain methods that return ``None``).
+    """
+
+    #: Declared port names; the layout validates stream wiring against these.
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    def init(self, ctx: "FilterContext"):
+        """One-time setup before processing."""
+
+    def process(self, ctx: "FilterContext"):
+        """Main unit-of-work loop."""
+
+    def finalize(self, ctx: "FilterContext"):
+        """Cleanup after all input streams have drained."""
+
+
+@dataclass
+class FilterContext:
+    """Runtime handle given to a filter instance.
+
+    Created by :mod:`repro.datacutter.runtime`; exposes the rank context
+    (clock, CPU charging) plus stream endpoints.
+    """
+
+    rank_ctx: Any  # simcluster.RankContext
+    filter_name: str
+    copy_index: int
+    num_copies: int
+    _reader: Any = None  # bound by the runtime
+    _writer: Any = None
+    _closer: Any = None
+
+    @property
+    def clock(self):
+        return self.rank_ctx.clock
+
+    def compute(self, seconds: float) -> None:
+        self.rank_ctx.compute(seconds)
+
+    def read(self, port: str):
+        """Generator: next item from ``port`` (or END_OF_STREAM)."""
+        item = yield from self._reader(port)
+        return item
+
+    def write(self, port: str, item: Any, size: int | None = None) -> None:
+        self._writer(port, item, size)
+
+    def close_output(self, port: str) -> None:
+        """Signal downstream consumers that this producer is done."""
+        self._closer(port)

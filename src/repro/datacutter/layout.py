@@ -1,0 +1,111 @@
+"""Filter-graph description and placement.
+
+A :class:`FilterGraph` names a set of filters, how many copies of each run
+and on which ranks (placement), and the logical streams wiring output ports
+to input ports.  Streams carry a distribution policy for when a producer
+writes to a multi-copy consumer:
+
+* ``"round_robin"`` — demand-agnostic cycling across consumer copies,
+* ``"broadcast"`` — every consumer copy receives every item,
+* ``"keyed"`` — ``key_fn(item) % num_copies`` picks the copy (this is how
+  the ingestion service routes edge blocks to the owning back-end node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..util.errors import ConfigError
+from .filter import Filter
+
+__all__ = ["FilterGraph", "FilterSpec", "StreamSpec"]
+
+_POLICIES = ("round_robin", "broadcast", "keyed")
+
+
+@dataclass
+class FilterSpec:
+    name: str
+    factory: Callable[[], Filter]
+    placement: tuple[int, ...]  # rank of each copy
+
+    @property
+    def num_copies(self) -> int:
+        return len(self.placement)
+
+
+@dataclass
+class StreamSpec:
+    name: str
+    src_filter: str
+    src_port: str
+    dst_filter: str
+    dst_port: str
+    policy: str = "round_robin"
+    key_fn: Callable | None = None
+    tag: int = -1  # assigned by the runtime
+
+
+class FilterGraph:
+    """A placed dataflow of filters and logical streams."""
+
+    def __init__(self):
+        self.filters: dict[str, FilterSpec] = {}
+        self.streams: list[StreamSpec] = []
+
+    def add_filter(
+        self, name: str, factory: Callable[[], Filter], placement
+    ) -> "FilterGraph":
+        if name in self.filters:
+            raise ConfigError(f"duplicate filter name {name!r}")
+        placement = tuple(int(r) for r in placement)
+        if not placement:
+            raise ConfigError(f"filter {name!r} needs at least one copy")
+        self.filters[name] = FilterSpec(name, factory, placement)
+        return self
+
+    def connect(
+        self,
+        src: str,
+        src_port: str,
+        dst: str,
+        dst_port: str,
+        policy: str = "round_robin",
+        key_fn: Callable | None = None,
+    ) -> "FilterGraph":
+        for f in (src, dst):
+            if f not in self.filters:
+                raise ConfigError(f"stream references unknown filter {f!r}")
+        if policy not in _POLICIES:
+            raise ConfigError(f"unknown stream policy {policy!r}; choose from {_POLICIES}")
+        if policy == "keyed" and key_fn is None:
+            raise ConfigError("keyed streams need a key_fn")
+        for s in self.streams:
+            if s.dst_filter == dst and s.dst_port == dst_port:
+                raise ConfigError(
+                    f"input port {dst}.{dst_port} already fed by stream {s.name!r}"
+                )
+        name = f"{src}.{src_port}->{dst}.{dst_port}"
+        self.streams.append(
+            StreamSpec(name, src, src_port, dst, dst_port, policy, key_fn)
+        )
+        return self
+
+    def validate(self, nranks: int) -> None:
+        """Check placements fit the cluster and ports match declarations."""
+        for spec in self.filters.values():
+            for r in spec.placement:
+                if not 0 <= r < nranks:
+                    raise ConfigError(f"filter {spec.name!r} placed on invalid rank {r}")
+        for s in self.streams:
+            proto_src = self.filters[s.src_filter].factory()
+            proto_dst = self.filters[s.dst_filter].factory()
+            if proto_src.outputs and s.src_port not in proto_src.outputs:
+                raise ConfigError(
+                    f"{s.src_filter!r} declares outputs {proto_src.outputs}, not {s.src_port!r}"
+                )
+            if proto_dst.inputs and s.dst_port not in proto_dst.inputs:
+                raise ConfigError(
+                    f"{s.dst_filter!r} declares inputs {proto_dst.inputs}, not {s.dst_port!r}"
+                )

@@ -1,0 +1,204 @@
+"""DataCutter runtime: executes a placed filter graph on a SimCluster.
+
+Logical streams map onto communicator tags.  Writers route items per the
+stream policy; readers block on the stream's tag.  Stream termination
+follows the DataCutter unit-of-work model: when a producer copy calls
+``close_output``, an end-of-stream marker goes to every consumer copy, and
+a consumer's ``read`` returns :data:`END_OF_STREAM` once *all* producer
+copies have closed.
+
+A rank may host any number of filter copies (DataCutter's task
+parallelism): the per-rank program multiplexes its filter coroutines,
+advancing each until it needs input, satisfying reads from a shared
+pending-message pool, and blocking on the communicator only when every
+hosted filter is waiting.  Because writes are non-blocking, only reads
+suspend, so co-located pipelines interleave naturally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any
+
+from ..simcluster.cluster import RankContext, SimCluster
+from ..simcluster.message import ANY
+from ..util.errors import ConfigError, SimulationError
+from .filter import END_OF_STREAM, Filter, FilterContext
+from .layout import FilterGraph, StreamSpec
+
+__all__ = ["DataCutterRuntime"]
+
+_EOS_PAYLOAD = "__datacutter_eos__"
+_STREAM_TAG_BASE = 1000
+
+
+class DataCutterRuntime:
+    """Compiles a :class:`FilterGraph` into rank programs and runs it."""
+
+    def __init__(self, graph: FilterGraph, cluster: SimCluster):
+        graph.validate(cluster.nranks)
+        self.graph = graph
+        self.cluster = cluster
+        for i, s in enumerate(graph.streams):
+            s.tag = _STREAM_TAG_BASE + i
+
+    # -- per-copy wiring -------------------------------------------------
+
+    def _streams_out(self, filter_name: str) -> dict[str, StreamSpec]:
+        return {s.src_port: s for s in self.graph.streams if s.src_filter == filter_name}
+
+    def _streams_in(self, filter_name: str) -> dict[str, StreamSpec]:
+        return {s.dst_port: s for s in self.graph.streams if s.dst_filter == filter_name}
+
+    def _make_filter_driver(self, spec, copy_index: int, rank_ctx: RankContext):
+        """One filter copy as a coroutine yielding ``("want", tag)`` effects."""
+        graph = self.graph
+        out_streams = self._streams_out(spec.name)
+        in_streams = self._streams_in(spec.name)
+        filt = spec.factory()
+        rr_counters = {port: 0 for port in out_streams}
+        eos_seen = {port: 0 for port in in_streams}
+
+        def writer(port: str, item: Any, size: int | None = None) -> None:
+            stream = out_streams.get(port)
+            if stream is None:
+                raise ConfigError(f"{spec.name!r} has no connected output {port!r}")
+            consumers = graph.filters[stream.dst_filter].placement
+            if stream.policy == "broadcast":
+                targets = consumers
+            elif stream.policy == "keyed":
+                targets = (consumers[stream.key_fn(item) % len(consumers)],)
+            else:  # round_robin
+                targets = (consumers[rr_counters[port] % len(consumers)],)
+                rr_counters[port] += 1
+            for dest in targets:
+                rank_ctx.comm.send(dest, item, tag=stream.tag, size=size)
+
+        def closer(port: str) -> None:
+            stream = out_streams.get(port)
+            if stream is None:
+                raise ConfigError(f"{spec.name!r} has no connected output {port!r}")
+            for dest in graph.filters[stream.dst_filter].placement:
+                rank_ctx.comm.send(dest, _EOS_PAYLOAD, tag=stream.tag)
+
+        def reader(port: str):
+            stream = in_streams.get(port)
+            if stream is None:
+                raise ConfigError(f"{spec.name!r} has no connected input {port!r}")
+            producers = graph.filters[stream.src_filter].num_copies
+            while True:
+                if eos_seen[port] >= producers:
+                    return END_OF_STREAM
+                msg = yield ("want", stream.tag)
+                if isinstance(msg.payload, str) and msg.payload == _EOS_PAYLOAD:
+                    eos_seen[port] += 1
+                    continue
+                return msg.payload
+
+        ctx = FilterContext(
+            rank_ctx=rank_ctx,
+            filter_name=spec.name,
+            copy_index=copy_index,
+            num_copies=spec.num_copies,
+            _reader=reader,
+            _writer=writer,
+            _closer=closer,
+        )
+
+        def driver():
+            result = None
+            for hook_index, hook in enumerate((filt.init, filt.process, filt.finalize)):
+                ret = hook(ctx)
+                if hasattr(ret, "send"):  # generator hook: drive it
+                    hook_result = yield from ret
+                else:
+                    hook_result = ret
+                if hook_index == 1:  # process() supplies the copy's result
+                    result = hook_result
+            return result
+
+        return driver()
+
+    def _make_rank_program(self, assignments: list[tuple[Any, int]]):
+        """Multiplex all filter copies placed on one rank."""
+        runtime = self
+
+        def program(rank_ctx: RankContext):
+            drivers: dict[int, Any] = {}
+            wanted: dict[int, int] = {}
+            results: dict[int, Any] = {}
+            pending: dict[int, deque] = defaultdict(deque)
+
+            def advance(i: int, value) -> None:
+                try:
+                    effect = drivers[i].send(value)
+                except StopIteration as stop:
+                    results[i] = stop.value
+                    del drivers[i]
+                    wanted.pop(i, None)
+                    return
+                if not (isinstance(effect, tuple) and len(effect) == 2 and effect[0] == "want"):
+                    raise SimulationError(
+                        f"filter driver yielded invalid effect {effect!r}"
+                    )
+                wanted[i] = effect[1]
+
+            for i, (spec, copy_index) in enumerate(assignments):
+                drivers[i] = runtime._make_filter_driver(spec, copy_index, rank_ctx)
+            for i in list(drivers):
+                advance(i, None)  # prime: run until first read or completion
+
+            while drivers:
+                progressed = False
+                for i in list(drivers):
+                    tag = wanted.get(i)
+                    if tag is not None and pending[tag]:
+                        advance(i, pending[tag].popleft())
+                        progressed = True
+                if drivers and not progressed:
+                    # Every hosted filter is waiting: block for any stream
+                    # message bound for this rank.
+                    msg = yield from rank_ctx.comm.recv(source=ANY, tag=ANY)
+                    pending[msg.tag].append(msg)
+
+            leftovers = {t: len(q) for t, q in pending.items() if q}
+            if leftovers:
+                raise SimulationError(
+                    f"rank {rank_ctx.rank} finished with undelivered stream "
+                    f"messages: {leftovers}"
+                )
+            return [results[i] for i in range(len(assignments))]
+
+        return program
+
+    def run(self) -> dict[str, list[Any]]:
+        """Execute the graph; returns per-filter lists of copy results."""
+        by_rank: dict[int, list[tuple[Any, int]]] = defaultdict(list)
+        slots: dict[int, list[tuple[str, int]]] = defaultdict(list)
+        for spec in self.graph.filters.values():
+            for copy_index, rank in enumerate(spec.placement):
+                by_rank[rank].append((spec, copy_index))
+                slots[rank].append((spec.name, copy_index))
+
+        programs: list[Any] = []
+        for rank in range(self.cluster.nranks):
+            if rank in by_rank:
+                programs.append(self._make_rank_program(by_rank[rank]))
+            else:
+                programs.append(_idle_program)
+        raw = self.cluster.run(programs)
+
+        results: dict[str, list[Any]] = {
+            name: [None] * spec.num_copies for name, spec in self.graph.filters.items()
+        }
+        for rank, outcomes in enumerate(raw):
+            if rank in slots:
+                for (name, copy_index), outcome in zip(slots[rank], outcomes):
+                    results[name][copy_index] = outcome
+        return results
+
+
+def _idle_program(rank_ctx: RankContext):
+    """Placeholder for ranks that host no filter copy."""
+    return None
+    yield  # pragma: no cover - marks this as a generator function

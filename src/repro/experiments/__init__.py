@@ -1,0 +1,62 @@
+"""Chapter-5 experiment harness: workloads, sweeps, figure reproductions."""
+
+from .harness import (
+    Deployment,
+    IngestResult,
+    SearchResult,
+    build_and_ingest,
+    default_cache_blocks,
+    run_ingest_experiment,
+    run_search_experiment,
+    scaled_grdb_format,
+)
+from .figures import (
+    fig_5_1,
+    fig_5_2,
+    fig_5_3,
+    fig_5_4,
+    fig_5_5,
+    fig_5_6,
+    fig_5_7,
+    fig_5_8,
+    fig_5_9,
+    table_5_1,
+)
+from .telemetry import (
+    NodeUtilization,
+    cluster_utilization,
+    format_utilization,
+    load_imbalance,
+)
+from .workloads import PUBMED_L, PUBMED_S, SYN_2B, WORKLOADS, Workload, load_edges
+
+__all__ = [
+    "Deployment",
+    "IngestResult",
+    "NodeUtilization",
+    "cluster_utilization",
+    "format_utilization",
+    "load_imbalance",
+    "PUBMED_L",
+    "PUBMED_S",
+    "SYN_2B",
+    "SearchResult",
+    "WORKLOADS",
+    "Workload",
+    "build_and_ingest",
+    "default_cache_blocks",
+    "fig_5_1",
+    "fig_5_2",
+    "fig_5_3",
+    "fig_5_4",
+    "fig_5_5",
+    "fig_5_6",
+    "fig_5_7",
+    "fig_5_8",
+    "fig_5_9",
+    "load_edges",
+    "run_ingest_experiment",
+    "run_search_experiment",
+    "scaled_grdb_format",
+    "table_5_1",
+]

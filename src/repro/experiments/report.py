@@ -1,0 +1,45 @@
+"""Plain-text rendering of experiment results (table/series printers)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_series_table", "format_rows", "print_banner"]
+
+
+def print_banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def format_series_table(
+    title: str,
+    row_label: str,
+    series: Mapping[str, Mapping[int, float]],
+    unit: str = "s",
+    fmt: str = "{:>12.4f}",
+) -> str:
+    """Render ``{series name: {x: y}}`` as the rows/columns a figure plots.
+
+    Rows are the union of x values (e.g. path lengths or node counts);
+    columns are the series (e.g. the five GraphDB backends).
+    """
+    names = list(series)
+    xs = sorted({x for s in series.values() for x in s})
+    lines = [print_banner(f"{title}  [{unit}]")]
+    header = f"{row_label:<14}" + "".join(f"{n:>13}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for x in xs:
+        cells = []
+        for n in names:
+            v = series[n].get(x)
+            cells.append(fmt.format(v) if v is not None else " " * 11 + "-")
+        lines.append(f"{x:<14}" + "".join(f"{c:>13}" for c in cells))
+    return "\n".join(lines)
+
+
+def format_rows(title: str, header: str, rows: Iterable[str]) -> str:
+    lines = [print_banner(title), header, "-" * len(header)]
+    lines.extend(rows)
+    return "\n".join(lines)

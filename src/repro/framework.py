@@ -1,0 +1,192 @@
+"""MSSG framework façade: the one-stop public API.
+
+Wires the whole stack of Figure 3.1 together — a simulated cluster of
+front-end and back-end nodes, one GraphDB instance per back-end, the
+Ingestion Service, and the Query Service::
+
+    from repro import MSSG, MSSGConfig
+    from repro.graphgen import pubmed_like
+
+    mssg = MSSG(MSSGConfig(num_backends=4, num_frontends=2, backend="grDB"))
+    report = mssg.ingest(pubmed_like(5000))
+    answer = mssg.query_bfs(source=3, dest=4711)
+    print(answer.result, answer.seconds)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .graphdb import GraphDB, GrDBFormat, ModuloMap, make_graphdb
+from .graphdb.registry import BACKENDS
+from .services import (
+    Declusterer,
+    EdgeRoundRobin,
+    IngestionService,
+    IngestReport,
+    QueryReport,
+    QueryService,
+    VertexHash,
+    VertexRoundRobin,
+    WindowGreedy,
+)
+from .simcluster import NodeSpec, SimCluster
+from .util.errors import ConfigError
+
+__all__ = ["MSSG", "MSSGConfig"]
+
+_DECLUSTERERS = {
+    "vertex-rr": VertexRoundRobin,
+    "vertex-hash": VertexHash,
+    "edge-rr": EdgeRoundRobin,
+    "window-greedy": WindowGreedy,
+}
+
+
+@dataclass
+class MSSGConfig:
+    """Deployment description of one MSSG installation."""
+
+    num_backends: int = 4
+    num_frontends: int = 1
+    backend: str = "grDB"
+    declustering: str = "vertex-rr"
+    window_size: int = 4096
+    cache_blocks: int = 256
+    grdb_format: GrDBFormat | None = None
+    growth_policy: str = "link"
+    node_spec: NodeSpec = field(default_factory=NodeSpec)
+    storage_dir: str | None = None
+    ascii_input: bool = True
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ConfigError(f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.declustering not in _DECLUSTERERS:
+            raise ConfigError(
+                f"unknown declustering {self.declustering!r}; "
+                f"choose from {sorted(_DECLUSTERERS)}"
+            )
+        if self.num_backends < 1 or self.num_frontends < 1:
+            raise ConfigError("need at least one back-end and one front-end")
+
+
+class MSSG:
+    """A deployed MSSG instance over a simulated cluster."""
+
+    def __init__(self, config: MSSGConfig | None = None):
+        self.config = config if config is not None else MSSGConfig()
+        cfg = self.config
+        self.cluster = SimCluster(
+            nranks=cfg.num_frontends + cfg.num_backends,
+            spec=cfg.node_spec,
+            storage_dir=cfg.storage_dir,
+        )
+        self.declusterer: Declusterer = _DECLUSTERERS[cfg.declustering](cfg.num_backends)
+        self.dbs: list[GraphDB] = []
+        for q in range(cfg.num_backends):
+            node = self.cluster.nodes[cfg.num_frontends + q]
+            # grDB packs its level-0 file densely when the owner map is the
+            # globally known GID % p round robin.
+            id_map = (
+                ModuloMap(cfg.num_backends, q)
+                if cfg.backend == "grDB" and cfg.declustering == "vertex-rr"
+                else None
+            )
+            self.dbs.append(
+                make_graphdb(
+                    cfg.backend,
+                    node,
+                    id_map=id_map,
+                    cache_blocks=cfg.cache_blocks,
+                    grdb_format=cfg.grdb_format,
+                    growth_policy=cfg.growth_policy,
+                )
+            )
+        self.ingestion = IngestionService(
+            self.cluster,
+            self.dbs,
+            self.declusterer,
+            num_frontends=cfg.num_frontends,
+            window_size=cfg.window_size,
+            ascii_input=cfg.ascii_input,
+        )
+        self.queries = QueryService(
+            self.cluster, self.dbs, self.declusterer, num_frontends=cfg.num_frontends
+        )
+        self.last_ingest: IngestReport | None = None
+
+    # -- public operations ---------------------------------------------------
+
+    def ingest(self, edges: np.ndarray) -> IngestReport:
+        """Stream an undirected edge list into the back-end GraphDBs."""
+        self.last_ingest = self.ingestion.ingest(edges)
+        return self.last_ingest
+
+    def ingest_semantic(self, graph) -> tuple[IngestReport, dict[str, int]]:
+        """Ingest a typed :class:`~repro.ontology.SemanticGraph`.
+
+        Validates the instance against its ontology (raising on the first
+        violation), streams its edges in, and replicates vertex-type
+        metadata to every back-end so ontology-constrained analyses
+        ("typed-bfs") work out of the box.  Returns the ingest report and
+        the assigned ``type name -> integer code`` table.
+        """
+        from .ontology import validate_graph
+
+        if graph.ontology is not None:
+            violations = validate_graph(graph)
+            if violations:
+                raise ConfigError(
+                    f"semantic graph violates its ontology: {violations[0].detail} "
+                    f"(+{len(violations) - 1} more)"
+                )
+        report = self.ingest(graph.edge_list())
+        type_names = sorted({t for _, t in graph.vertices()})
+        codes = {name: i for i, name in enumerate(type_names)}
+        type_codes = {gid: codes[t] for gid, t in graph.vertices()}
+        self.queries.query("load-vertex-types", type_codes=type_codes)
+        return report, codes
+
+    def query_bfs(
+        self,
+        source: int,
+        dest: int,
+        pipelined: bool = False,
+        visited: str = "memory",
+        max_levels: int = 64,
+        **kw,
+    ) -> QueryReport:
+        """Relationship query: hop distance from ``source`` to ``dest``."""
+        analysis = "pipelined-bfs" if pipelined else "bfs"
+        return self.queries.query(
+            analysis, source=source, dest=dest, visited=visited, max_levels=max_levels, **kw
+        )
+
+    def query(self, analysis: str, **params) -> QueryReport:
+        return self.queries.query(analysis, **params)
+
+    def backend_stats(self) -> list[dict]:
+        """Per-back-end operation counters."""
+        return [
+            {
+                "backend": db.name,
+                "edges_stored": db.stats.edges_stored,
+                "edges_scanned": db.stats.edges_scanned,
+                "adjacency_requests": db.stats.adjacency_requests,
+            }
+            for db in self.dbs
+        ]
+
+    def close(self) -> None:
+        for db in self.dbs:
+            db.close()
+        self.cluster.close()
+
+    def __enter__(self) -> "MSSG":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

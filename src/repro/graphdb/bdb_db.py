@@ -1,0 +1,118 @@
+"""BerkeleyDB GraphDB: adjacency chunks in a B-tree KV store (§4.1.4).
+
+Adjacency lists are serialized into fixed-capacity binary chunks (8 KB, the
+paper's Figure 4.3 blocking) keyed by ``(vertex id, chunk number)``; the
+underlying store is the from-scratch B-tree :class:`KVStore` standing in
+for BerkeleyDB 1.7.1.  The store's page cache is the "internal (block)
+cache" toggled in Figure 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simcluster.disk import BlockDevice
+from ..storage.kvstore import KVStore, encode_key_u64_u32, encode_u64
+from .interface import GraphDB
+
+__all__ = ["BerkeleyGraphDB", "CHUNK_BYTES", "CHUNK_ENTRIES"]
+
+#: 8 KB chunks, "as suggested by the MySQL documentation" and reused for BDB.
+CHUNK_BYTES = 8192
+CHUNK_ENTRIES = CHUNK_BYTES // 8
+
+
+class BerkeleyGraphDB(GraphDB):
+    """Adjacency chunks in a B-tree key-value store (BerkeleyDB stand-in)."""
+
+    name = "BerkeleyDB"
+
+    def __init__(
+        self,
+        device: BlockDevice,
+        cache_pages: int = 512,
+        page_size: int = 4096,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.store = KVStore(
+            device,
+            page_size=page_size,
+            cache_pages=cache_pages,
+            page_cpu_seconds=self.cpu.btree_page_seconds,
+        )
+        # Lazily discovered tail position per vertex: (chunk_no, entries_used).
+        self._tails: dict[int, tuple[int, int]] = {}
+
+    # -- chunk helpers ----------------------------------------------------
+
+    @staticmethod
+    def _pack(neighbors: np.ndarray) -> bytes:
+        return np.ascontiguousarray(neighbors.astype("<u8")).tobytes()
+
+    @staticmethod
+    def _unpack(data: bytes) -> np.ndarray:
+        return np.frombuffer(data, dtype="<u8").astype(np.int64)
+
+    def _tail_of(self, vertex: int) -> tuple[int, int]:
+        """Last chunk number and its fill for ``vertex`` (queried once)."""
+        tail = self._tails.get(vertex)
+        if tail is None:
+            tail = (-1, CHUNK_ENTRIES)  # no chunks yet; "full" forces a new one
+            for key, value in self.store.prefix(encode_u64(vertex)):
+                chunk_no = int.from_bytes(key[8:12], "big")
+                tail = (chunk_no, len(value) // 8)
+            self._tails[vertex] = tail
+        return tail
+
+    # -- GraphDB hooks ------------------------------------------------------
+
+    def _store_edges(self, edges: np.ndarray) -> None:
+        if len(edges) == 0:
+            return
+        # Group arrivals by source so each vertex's tail is touched once.
+        order = np.argsort(edges[:, 0], kind="stable")
+        srcs = edges[order, 0]
+        dsts = edges[order, 1]
+        boundaries = np.flatnonzero(np.diff(srcs)) + 1
+        for group in np.split(np.arange(len(srcs)), boundaries):
+            vertex = int(srcs[group[0]])
+            new = dsts[group]
+            chunk_no, used = self._tail_of(vertex)
+            pos = 0
+            while pos < len(new):
+                if used >= CHUNK_ENTRIES:
+                    chunk_no += 1
+                    used = 0
+                    existing = np.empty(0, dtype=np.int64)
+                else:
+                    existing = self._unpack(self.store.get(encode_key_u64_u32(vertex, chunk_no)))
+                take = min(CHUNK_ENTRIES - used, len(new) - pos)
+                merged = np.concatenate([existing, new[pos : pos + take]])
+                self.store.put(encode_key_u64_u32(vertex, chunk_no), self._pack(merged))
+                used += take
+                pos += take
+            self._tails[vertex] = (chunk_no, used)
+
+    def _get_adjacency(self, vertex: int) -> np.ndarray:
+        chunks = [self._unpack(v) for _, v in self.store.prefix(encode_u64(vertex))]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def local_vertices(self) -> np.ndarray:
+        seen = []
+        last = None
+        for key, _ in self.store.cursor():
+            vertex = int.from_bytes(key[:8], "big")
+            if vertex != last:
+                seen.append(vertex)
+                last = vertex
+        return np.array(seen, dtype=np.int64)
+
+    def flush(self) -> None:
+        self.store.flush()
+
+    @property
+    def cache_stats(self):
+        return self.store.cache_stats

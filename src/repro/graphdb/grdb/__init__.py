@@ -1,0 +1,34 @@
+"""grDB: the paper's novel multi-level out-of-core graph database."""
+
+from .db import GrDB
+from .defrag import chain_length, defragment, defragment_vertex
+from .format import (
+    EMPTY_SLOT,
+    MAX_VERTEX_ID,
+    SLOT_BYTES,
+    GrDBFormat,
+    decode_pointer,
+    encode_pointer,
+    is_empty,
+    is_pointer,
+)
+from .storage import GrDBStorage
+from .superblock import load_superblock, save_superblock
+
+__all__ = [
+    "EMPTY_SLOT",
+    "GrDB",
+    "GrDBFormat",
+    "GrDBStorage",
+    "MAX_VERTEX_ID",
+    "SLOT_BYTES",
+    "chain_length",
+    "decode_pointer",
+    "defragment",
+    "defragment_vertex",
+    "encode_pointer",
+    "is_empty",
+    "is_pointer",
+    "load_superblock",
+    "save_superblock",
+]

@@ -1,0 +1,270 @@
+"""grDB GraphDB implementation (§3.4.1, §4.1.6).
+
+Adjacency storage per vertex ``v``:
+
+* the beginning of ``v``'s adjacency list lives in the ``v``-th level-0
+  sub-block (through an :class:`IdMap` when vertices are declustered);
+* a sub-block holds vertex entries left-to-right; when it fills and more
+  neighbors arrive, its *last* slot is replaced by a pointer to a freshly
+  allocated sub-block at a higher level (the displaced entry moves there);
+* growth policy (the explicit design fork in §3.4.1):
+
+  - ``"link"`` — leave filled sub-blocks in place and chain, fragmenting
+    the list across levels (cheap inserts, extra seeks on read);
+  - ``"move"`` — when a level-``l >= 1`` sub-block fills, copy its whole
+    contents into a level-``l+1`` sub-block, free the old one, and repoint
+    the level-0 pointer, keeping every chain at length <= 2 (extra copies
+    on insert, compact reads).
+
+  ``repro.graphdb.grdb.defrag`` converts link-fragmented chains into the
+  compact form "during idle time", as the paper suggests.
+
+Degrees beyond the top level's capacity chain additional top-level
+sub-blocks, so arbitrarily large hubs are storable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ...simcluster.disk import BlockDevice
+from ...util.errors import ConfigError, GraphStorageException
+from ..idmap import IdentityMap, IdMap
+from ..interface import GraphDB
+from .format import (
+    EMPTY_SLOT,
+    MAX_VERTEX_ID,
+    GrDBFormat,
+    decode_pointer,
+    encode_pointer,
+    is_pointer,
+)
+from .storage import GrDBStorage
+
+__all__ = ["GrDB"]
+
+_POLICIES = ("link", "move")
+
+
+class GrDB(GraphDB):
+    """The paper's multi-level sub-block graph database (see module doc)."""
+
+    name = "grDB"
+
+    def __init__(
+        self,
+        device_provider: Callable[[str], BlockDevice],
+        fmt: GrDBFormat | None = None,
+        cache_blocks: int = 256,
+        id_map: IdMap | None = None,
+        growth_policy: str = "link",
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if growth_policy not in _POLICIES:
+            raise ConfigError(f"growth_policy must be one of {_POLICIES}, got {growth_policy!r}")
+        self.fmt = fmt if fmt is not None else GrDBFormat()
+        self.storage = GrDBStorage(self.fmt, device_provider, cache_blocks=cache_blocks)
+        self.id_map = id_map if id_map is not None else IdentityMap()
+        self.growth_policy = growth_policy
+        # Ingestion memo: local id -> (chain path [(level, sb), ...], used
+        # slots in the tail).  Purely an in-memory accelerator; the on-disk
+        # chain is always authoritative and re-walkable.
+        self._tails: dict[int, tuple[list[tuple[int, int]], int]] = {}
+        self._known_locals: set[int] = set()
+        #: True when this instance adopted state from an existing superblock.
+        self.restored = self.storage.restore()
+        if self.restored:
+            self._rebuild_known_locals()
+
+    # -- chain navigation ----------------------------------------------------
+
+    def _read_slots(self, level: int, sb: int) -> np.ndarray:
+        # Addressing + decoding one sub-block is pure arithmetic (no key
+        # comparisons), the CPU edge grDB holds over B-tree stores.
+        self.clock.advance(self.cpu.grdb_subblock_seconds)
+        return self.fmt.parse_slots(self.storage.read_subblock(level, sb))
+
+    def _write_slots(self, level: int, sb: int, slots: np.ndarray) -> None:
+        self.storage.write_subblock(level, sb, self.fmt.pack_slots(slots))
+
+    def _walk(self, local: int) -> tuple[list[tuple[int, int]], int]:
+        """Follow ``local``'s chain to its tail; returns (path, tail fill)."""
+        path = [(0, local)]
+        while True:
+            level, sb = path[-1]
+            slots = self._read_slots(level, sb)
+            last = int(slots[-1])
+            if is_pointer(last):
+                nxt = decode_pointer(last)
+                if len(path) > self.fmt.num_levels + 64:
+                    raise GraphStorageException(f"pointer cycle in chain of local vertex {local}")
+                path.append(nxt)
+            else:
+                used = int(np.count_nonzero(slots != EMPTY_SLOT))
+                return path, used
+
+    def _tail_info(self, local: int) -> tuple[list[tuple[int, int]], int]:
+        info = self._tails.get(local)
+        if info is None:
+            info = self._walk(local)
+            self._tails[local] = info
+        return info
+
+    # -- ingestion -----------------------------------------------------------
+
+    def _store_edges(self, edges: np.ndarray) -> None:
+        if len(edges) == 0:
+            return
+        if edges.max() > MAX_VERTEX_ID:
+            raise GraphStorageException(
+                f"vertex id {edges.max()} exceeds grDB's 61-bit id space"
+            )
+        order = np.argsort(edges[:, 0], kind="stable")
+        srcs = edges[order, 0]
+        dsts = edges[order, 1]
+        boundaries = np.flatnonzero(np.diff(srcs)) + 1
+        for group in np.split(np.arange(len(srcs)), boundaries):
+            self._append(int(srcs[group[0]]), dsts[group])
+
+    def _append(self, gid: int, new: np.ndarray) -> None:
+        local = self.id_map.to_local(gid)
+        self._known_locals.add(local)
+        path, used = self._tail_info(local)
+        level, sb = path[-1]
+        slots = self._read_slots(level, sb).copy()
+        caps = self.fmt.capacities
+        top = self.fmt.num_levels - 1
+        i = 0
+        new_u64 = new.astype("<u8")
+        while True:
+            cap = caps[level]
+            take = min(cap - used, len(new_u64) - i)
+            if take > 0:
+                slots[used : used + take] = new_u64[i : i + take]
+                used += take
+                i += take
+            if i >= len(new_u64):
+                break
+            # Tail is full; grow the chain.
+            if self.growth_policy == "move" and 1 <= level < top:
+                # Copy the whole sub-block one level up, free it, repoint parent.
+                tgt = level + 1
+                nsb = self.storage.allocate_subblock(tgt)
+                nslots = self.fmt.parse_slots(self.fmt.empty_subblock(tgt)).copy()
+                nslots[:cap] = slots[:cap]
+                self.storage.free_subblock(level, sb)
+                plevel, psb = path[-2]
+                pslots = self._read_slots(plevel, psb).copy()
+                pslots[caps[plevel] - 1] = encode_pointer(tgt, nsb)
+                self._write_slots(plevel, psb, pslots)
+                path[-1] = (tgt, nsb)
+                level, sb, slots = tgt, nsb, nslots
+            else:
+                # Link: displace the last entry into a new higher-level
+                # sub-block and leave a pointer behind.
+                tgt = min(level + 1, top)
+                nsb = self.storage.allocate_subblock(tgt)
+                displaced = slots[cap - 1]
+                slots[cap - 1] = encode_pointer(tgt, nsb)
+                self._write_slots(level, sb, slots)
+                nslots = self.fmt.parse_slots(self.fmt.empty_subblock(tgt)).copy()
+                nslots[0] = displaced
+                used = 1
+                path.append((tgt, nsb))
+                level, sb, slots = tgt, nsb, nslots
+        self._write_slots(level, sb, slots)
+        self._tails[local] = (path, used)
+
+    # -- retrieval --------------------------------------------------------------
+
+    def _get_adjacency(self, vertex: int) -> np.ndarray:
+        try:
+            local = self.id_map.to_local(vertex)
+        except ConfigError:
+            return np.empty(0, dtype=np.int64)  # not owned by this node
+        parts: list[np.ndarray] = []
+        level, sb = 0, local
+        hops = 0
+        while True:
+            slots = self._read_slots(level, sb)
+            last = int(slots[-1])
+            if is_pointer(last):
+                parts.append(slots[:-1])
+                level, sb = decode_pointer(last)
+                hops += 1
+                if hops > 1 << 20:
+                    raise GraphStorageException(f"runaway chain for vertex {vertex}")
+            else:
+                parts.append(slots)
+                break
+        flat = np.concatenate(parts)
+        return flat[flat != EMPTY_SLOT].astype(np.int64)
+
+    # -- prefetch (the §4.2 future-work optimization) ---------------------------------
+
+    def prefetch_fringe(self, vertices) -> int:
+        """Prefetch the level-0 blocks of a fringe, sorted by file offset.
+
+        Implements the optimization the paper leaves as future work:
+        "introducing some pre-fetching of the adjacency lists of the
+        vertices in the frontier ... sorting the pre-fetch disk accesses by
+        file offsets to reduce the seek overhead."  Sorting turns the
+        fringe's scattered block reads into ascending-offset runs, so
+        adjacent blocks coalesce into sequential device access.  Returns
+        the number of blocks fetched.
+        """
+        blocks = set()
+        for v in np.asarray(vertices, dtype=np.int64):
+            try:
+                local = self.id_map.to_local(int(v))
+            except ConfigError:
+                continue
+            _, _, block, _ = self.fmt.locate(0, local)
+            blocks.add(block)
+        # Global block index sorts by (file, offset), so ascending order
+        # coalesces adjacent blocks into sequential device reads.
+        for block in sorted(blocks):
+            self.storage._read_block(0, block)
+        return len(blocks)
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def _rebuild_known_locals(self) -> None:
+        """Recover the set of stored vertices by scanning level-0 blocks."""
+        k = self.fmt.subblocks_per_block(0)
+        for level, block in sorted(self.storage._written_blocks):
+            if level != 0:
+                continue
+            slots = self.fmt.parse_slots(self.storage._read_block(0, block))
+            d0 = self.fmt.capacities[0]
+            for i in range(k):
+                sub = slots[i * d0 : (i + 1) * d0]
+                if bool(np.any(sub != EMPTY_SLOT)):
+                    self._known_locals.add(block * k + i)
+
+    def chain_of(self, vertex: int) -> list[tuple[int, int]]:
+        """The (level, sub-block) chain of ``vertex`` — for tests/defrag."""
+        return list(self._walk(self.id_map.to_local(vertex))[0])
+
+    def known_vertices(self) -> list[int]:
+        """Global ids of all vertices this instance has stored edges for."""
+        return sorted(self.id_map.to_global(loc) for loc in self._known_locals)
+
+    def local_vertices(self) -> np.ndarray:
+        return np.array(self.known_vertices(), dtype=np.int64)
+
+    def invalidate_tail_memo(self, vertex: int | None = None) -> None:
+        if vertex is None:
+            self._tails.clear()
+        else:
+            self._tails.pop(self.id_map.to_local(vertex), None)
+
+    def flush(self) -> None:
+        self.storage.flush()
+
+    @property
+    def cache_stats(self):
+        return self.storage.cache.stats

@@ -1,0 +1,166 @@
+"""grDB on-disk format: level geometry, slot encoding, sub-block addressing.
+
+From §3.4.1 and §4.1.6 of the paper:
+
+* A grDB instance has ``L`` levels; the sub-blocks of level ``l`` hold up to
+  ``d_l`` adjacent vertices, with ``d_l >= 2 * d_{l-1}`` — exponentially
+  growing capacities matched to the power-law degree distribution.  The
+  prototype used ``d = (2, 4, 16, 256, 4K, 16K)``.
+* Every slot is a ``b``-byte integer (``b = 8``) whose **3 most significant
+  bits are reserved**: ``000`` marks a plain vertex id (so ids reach
+  ``2^61``, "sufficient for graphs with up to 2 quintillion vertices"),
+  ``100`` marks a pointer into a higher-degree storage file, and ``111``
+  (the all-ones word) marks an empty slot.
+* Sub-blocks pack ``k_l`` to a block of ``B_l = k_l * b * d_l`` bytes
+  (4 KB for the first four levels, then 32 KB and 256 KB); blocks pack
+  ``N_l = M / B_l`` to a file of at most ``M`` bytes (prototype: 256 MB).
+* Sub-block ``s`` of level ``l`` therefore lives in block ``s / k_l``,
+  which is in file ``s / k_l / N_l`` at byte offset
+  ``B_l * ((s / k_l) % N_l) + b * d_l * (s % k_l)`` — the paper's modulo
+  arithmetic, implemented verbatim in :meth:`GrDBFormat.locate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...util.errors import ConfigError
+
+__all__ = [
+    "GrDBFormat",
+    "SLOT_BYTES",
+    "EMPTY_SLOT",
+    "MAX_VERTEX_ID",
+    "encode_pointer",
+    "decode_pointer",
+    "is_pointer",
+    "is_empty",
+]
+
+SLOT_BYTES = 8
+#: All-ones slot = empty (tag bits 111).
+EMPTY_SLOT = (1 << 64) - 1
+#: Plain vertex ids keep the top 3 bits clear.
+MAX_VERTEX_ID = (1 << 61) - 1
+
+_PTR_TAG = 0b100 << 61
+_TAG_MASK = 0b111 << 61
+_LEVEL_SHIFT = 56
+_LEVEL_MASK = 0x1F << _LEVEL_SHIFT
+_INDEX_MASK = (1 << _LEVEL_SHIFT) - 1
+
+
+def encode_pointer(level: int, subblock: int) -> int:
+    """Pack a (level, sub-block index) pointer into one slot word."""
+    if not 0 <= level < 32:
+        raise ConfigError(f"pointer level {level} out of range")
+    if not 0 <= subblock <= _INDEX_MASK:
+        raise ConfigError(f"pointer sub-block index {subblock} out of range")
+    return _PTR_TAG | (level << _LEVEL_SHIFT) | subblock
+
+
+def decode_pointer(slot: int) -> tuple[int, int]:
+    if not is_pointer(slot):
+        raise ConfigError(f"slot 0x{slot:016x} is not a pointer")
+    return (slot & _LEVEL_MASK) >> _LEVEL_SHIFT, slot & _INDEX_MASK
+
+
+def is_pointer(slot: int) -> bool:
+    return (slot & _TAG_MASK) == _PTR_TAG
+
+
+def is_empty(slot: int) -> bool:
+    return slot == EMPTY_SLOT
+
+
+@dataclass(frozen=True)
+class GrDBFormat:
+    """Level geometry of one grDB instance (validated at construction)."""
+
+    #: Sub-block capacities d_l, in adjacent vertices.
+    capacities: tuple[int, ...] = (2, 4, 16, 256, 4096, 16384)
+    #: Block size B_l per level, in bytes.
+    block_sizes: tuple[int, ...] = (4096, 4096, 4096, 4096, 32768, 262144)
+    #: Maximum storage file size M, in bytes (prototype: 256 MB; scaled
+    #: experiments shrink it to keep many files in play).
+    max_file_bytes: int = 256 << 20
+
+    def __post_init__(self):
+        if not self.capacities:
+            raise ConfigError("grDB needs at least one level")
+        if len(self.block_sizes) != len(self.capacities):
+            raise ConfigError(
+                f"{len(self.capacities)} levels but {len(self.block_sizes)} block sizes"
+            )
+        prev = None
+        for lvl, (d, B) in enumerate(zip(self.capacities, self.block_sizes)):
+            if d < 2:
+                raise ConfigError(f"level {lvl} capacity {d} must be >= 2")
+            if prev is not None and d < 2 * prev:
+                raise ConfigError(
+                    f"level {lvl} capacity {d} violates d_l >= 2*d_(l-1) (prev {prev})"
+                )
+            sub = d * SLOT_BYTES
+            if B % sub != 0:
+                raise ConfigError(
+                    f"level {lvl}: block size {B} not a multiple of sub-block size {sub}"
+                )
+            if self.max_file_bytes < B:
+                raise ConfigError(
+                    f"level {lvl}: max file size {self.max_file_bytes} smaller than one block"
+                )
+            prev = d
+
+    # -- derived geometry --------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.capacities)
+
+    def subblock_bytes(self, level: int) -> int:
+        return self.capacities[level] * SLOT_BYTES
+
+    def subblocks_per_block(self, level: int) -> int:
+        """k_l."""
+        return self.block_sizes[level] // self.subblock_bytes(level)
+
+    def blocks_per_file(self, level: int) -> int:
+        """N_l."""
+        return self.max_file_bytes // self.block_sizes[level]
+
+    def locate(self, level: int, subblock: int) -> tuple[int, int, int, int]:
+        """Address sub-block ``s``: (file index, byte offset, block index, slot offset).
+
+        ``block index`` is global across files (``s // k_l``); the byte
+        offset is within the file, per the paper's formula.
+        """
+        k = self.subblocks_per_block(level)
+        N = self.blocks_per_file(level)
+        B = self.block_sizes[level]
+        block = subblock // k
+        file_idx = block // N
+        offset = B * (block % N) + self.subblock_bytes(level) * (subblock % k)
+        return file_idx, offset, block, offset % B
+
+    def total_chain_capacity(self) -> int:
+        """Vertices storable in one maximal level-0..top chain (link policy),
+        accounting for one pointer slot in every non-terminal sub-block."""
+        caps = self.capacities
+        return sum(d - 1 for d in caps[:-1]) + caps[-1]
+
+    def empty_subblock(self, level: int) -> bytes:
+        return b"\xff" * self.subblock_bytes(level)
+
+    def empty_block(self, level: int) -> bytes:
+        return b"\xff" * self.block_sizes[level]
+
+    @staticmethod
+    def parse_slots(data: bytes) -> np.ndarray:
+        """Decode a sub-block's raw bytes into uint64 slot words."""
+        return np.frombuffer(data, dtype="<u8")
+
+    @staticmethod
+    def pack_slots(slots: np.ndarray) -> bytes:
+        return np.ascontiguousarray(slots.astype("<u8")).tobytes()

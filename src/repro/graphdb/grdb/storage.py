@@ -1,0 +1,178 @@
+"""grDB storage component: multi-level block files + block cache.
+
+One :class:`GrDBStorage` owns, per level, a growing set of block devices
+(one per storage file, capped at ``M`` bytes each) and routes every
+sub-block read/write through a single shared :class:`LRUBlockCache` keyed
+by ``(level, global block index)`` — the "block cache component" of
+§3.4.1.  Blocks are the unit of I/O: touching any sub-block moves its whole
+block, which is exactly the locality bet the format makes for scale-free
+adjacency lists.
+
+Never-written blocks read back as empty-slot fill (0xFF) without touching
+the device, modeling the sparse/preallocated level-0 file.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...simcluster.disk import BlockDevice
+from ...storage.blockcache import LRUBlockCache
+from ...util.errors import ConfigError, GraphStorageException
+from .format import GrDBFormat
+
+__all__ = ["GrDBStorage"]
+
+
+class GrDBStorage:
+    """Multi-level block files + shared block cache (the storage component)."""
+
+    def __init__(
+        self,
+        fmt: GrDBFormat,
+        device_provider: Callable[[str], BlockDevice],
+        cache_blocks: int = 256,
+        name: str = "grdb",
+    ):
+        self.fmt = fmt
+        self._provider = device_provider
+        self._name = name
+        self._files: dict[tuple[int, int], BlockDevice] = {}
+        self._written_blocks: set[tuple[int, int]] = set()
+        # Free lists and bump allocators, per level (level 0 is id-addressed
+        # and has no allocator).
+        self._next_subblock = [0] * fmt.num_levels
+        self._free: list[list[int]] = [[] for _ in range(fmt.num_levels)]
+        self.cache = LRUBlockCache(cache_blocks, writer=self._write_block_through)
+
+    # -- file / block plumbing ---------------------------------------------
+
+    def _device(self, level: int, file_idx: int) -> BlockDevice:
+        key = (level, file_idx)
+        dev = self._files.get(key)
+        if dev is None:
+            dev = self._provider(f"{self._name}_L{level}_F{file_idx}")
+            self._files[key] = dev
+        return dev
+
+    def _block_location(self, level: int, block: int) -> tuple[BlockDevice, int]:
+        N = self.fmt.blocks_per_file(level)
+        file_idx, in_file = divmod(block, N)
+        return self._device(level, file_idx), in_file * self.fmt.block_sizes[level]
+
+    def _write_block_through(self, key: tuple[int, int], data: bytes) -> None:
+        level, block = key
+        dev, offset = self._block_location(level, block)
+        dev.write(offset, data)
+
+    def _read_block(self, level: int, block: int) -> bytes:
+        key = (level, block)
+        data = self.cache.get(key)
+        if data is not None:
+            return data
+        if key not in self._written_blocks:
+            data = self.fmt.empty_block(level)
+        else:
+            dev, offset = self._block_location(level, block)
+            data = dev.read(offset, self.fmt.block_sizes[level])
+        self.cache.put(key, data)
+        return data
+
+    def _write_block(self, level: int, block: int, data: bytes) -> None:
+        key = (level, block)
+        self._written_blocks.add(key)
+        if self.cache.capacity > 0:
+            self.cache.put(key, data, dirty=True)
+        else:
+            self._write_block_through(key, data)
+
+    # -- sub-block API ---------------------------------------------------------
+
+    def read_subblock(self, level: int, subblock: int) -> bytes:
+        self._check(level, subblock)
+        _, _, block, slot_off = self.fmt.locate(level, subblock)
+        data = self._read_block(level, block)
+        return data[slot_off : slot_off + self.fmt.subblock_bytes(level)]
+
+    def write_subblock(self, level: int, subblock: int, data: bytes) -> None:
+        self._check(level, subblock)
+        sub_bytes = self.fmt.subblock_bytes(level)
+        if len(data) != sub_bytes:
+            raise GraphStorageException(
+                f"sub-block write of {len(data)} bytes != {sub_bytes} at level {level}"
+            )
+        _, _, block, slot_off = self.fmt.locate(level, subblock)
+        buf = bytearray(self._read_block(level, block))
+        buf[slot_off : slot_off + sub_bytes] = data
+        self._write_block(level, block, bytes(buf))
+
+    def _check(self, level: int, subblock: int) -> None:
+        if not 0 <= level < self.fmt.num_levels:
+            raise GraphStorageException(f"level {level} out of range")
+        if subblock < 0:
+            raise GraphStorageException(f"negative sub-block index {subblock}")
+
+    # -- allocation ---------------------------------------------------------------
+
+    def allocate_subblock(self, level: int) -> int:
+        """Allocate a sub-block at ``level >= 1`` (freelist first, then bump)."""
+        if level < 1:
+            raise ConfigError("level-0 sub-blocks are addressed by vertex id, not allocated")
+        if self._free[level]:
+            return self._free[level].pop()
+        sb = self._next_subblock[level]
+        self._next_subblock[level] = sb + 1
+        return sb
+
+    def free_subblock(self, level: int, subblock: int) -> None:
+        self._free[level].append(subblock)
+
+    def allocated_subblocks(self, level: int) -> int:
+        return self._next_subblock[level] - len(self._free[level])
+
+    # -- lifecycle / stats -----------------------------------------------------------
+
+    def flush(self) -> None:
+        self.cache.flush()
+        from .superblock import save_superblock
+
+        save_superblock(self._provider(f"{self._name}_super"), self)
+
+    def restore(self) -> bool:
+        """Adopt persisted bookkeeping from this instance's superblock.
+
+        Returns False when no superblock exists (fresh instance); raises
+        when one exists but disagrees with the configured format.
+        """
+        from .superblock import load_superblock
+
+        dev = self._provider(f"{self._name}_super")
+        if dev.size() == 0:
+            return False
+        state = load_superblock(dev)
+        if state["format"] != self.fmt:
+            raise GraphStorageException(
+                "superblock format differs from the configured GrDBFormat; "
+                f"on disk: {state['format']}, configured: {self.fmt}"
+            )
+        self._next_subblock = list(state["next_subblock"])
+        self._free = [list(f) for f in state["free"]]
+        self._written_blocks = set(state["written_blocks"])
+        return True
+
+    def total_device_stats(self) -> dict[str, int]:
+        reads = writes = bytes_read = bytes_written = seeks = 0
+        for dev in self._files.values():
+            reads += dev.stats.reads
+            writes += dev.stats.writes
+            bytes_read += dev.stats.bytes_read
+            bytes_written += dev.stats.bytes_written
+            seeks += dev.stats.seeks
+        return {
+            "reads": reads,
+            "writes": writes,
+            "bytes_read": bytes_read,
+            "bytes_written": bytes_written,
+            "seeks": seeks,
+            "files": len(self._files),
+        }

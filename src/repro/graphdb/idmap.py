@@ -1,0 +1,59 @@
+"""Global-to-local vertex id maps.
+
+grDB addresses its level-0 sub-blocks directly by vertex id (§3.4.1: "the
+beginning of the adjacency list of a vertex v is stored in the v-th
+sub-block at level 0").  On a single node that is the identity; with p
+back-end nodes and the globally-known ``GID % p`` declustering the paper
+uses, each node owns every p-th vertex and maps it to the dense local slot
+``GID // p`` so level-0 storage stays compact.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..util.errors import ConfigError
+
+__all__ = ["IdMap", "IdentityMap", "ModuloMap"]
+
+
+class IdMap(abc.ABC):
+    """Maps global vertex ids to dense local sub-block slots."""
+
+    @abc.abstractmethod
+    def to_local(self, gid: int) -> int: ...
+
+    @abc.abstractmethod
+    def to_global(self, local: int) -> int: ...
+
+
+class IdentityMap(IdMap):
+    """Local slot == global id (single-node layout)."""
+
+    def to_local(self, gid: int) -> int:
+        return int(gid)
+
+    def to_global(self, local: int) -> int:
+        return int(local)
+
+
+class ModuloMap(IdMap):
+    """Round-robin ownership: node ``rank`` of ``nparts`` owns ``gid % nparts == rank``."""
+
+    def __init__(self, nparts: int, rank: int):
+        if nparts <= 0 or not 0 <= rank < nparts:
+            raise ConfigError(f"invalid ModuloMap({nparts}, {rank})")
+        self.nparts = nparts
+        self.rank = rank
+
+    def to_local(self, gid: int) -> int:
+        gid = int(gid)
+        if gid % self.nparts != self.rank:
+            raise ConfigError(f"vertex {gid} is not owned by rank {self.rank} of {self.nparts}")
+        return gid // self.nparts
+
+    def to_global(self, local: int) -> int:
+        return int(local) * self.nparts + self.rank
+
+    def owns(self, gid: int) -> bool:
+        return int(gid) % self.nparts == self.rank

@@ -1,0 +1,191 @@
+"""The GraphDB Service interface (paper Listing 3.1).
+
+The paper's central API design: *"the smallest complete set of graph
+operations possible"* — store edges, get/set per-vertex metadata, and fetch
+a vertex's distance-1 neighbors filtered by their metadata.  None of these
+methods communicate; every GraphDB instance operates purely on the data
+local to its back-end node, and requesting the adjacency list of a vertex
+that is not stored locally returns the empty set (which Algorithms 1 and 2
+rely on).
+
+The Java signature::
+
+    void storeEdges(List<Edge> edges)
+    int  getMetadata(long vertex)
+    void setMetadata(long vertex, int metadata)
+    void getAdjacencyListUsingMetadata(long vertex,
+            FastLongArrayStorage adjlist, int metadata, int operation)
+
+maps to :class:`GraphDB` below, with edges as ``(E, 2)`` int64 arrays and
+``FastLongArrayStorage`` as :class:`~repro.util.LongArray`.  One batch
+method is added beyond the paper's listing — ``expand_fringe`` — because
+StreamDB (§4.1.5) *requires* posting all fringe vertices at once so it can
+answer a whole BFS level in a single scan; other backends inherit the
+default per-vertex loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simcluster.costmodel import CpuProfile
+from ..simcluster.virtualtime import VirtualClock
+from ..util.errors import GraphStorageException
+from ..util.longarray import LongArray
+from .metadata import InMemoryMetadata, MetadataStore
+
+__all__ = [
+    "GraphDB",
+    "GraphDBStats",
+    "OP_ALL",
+    "OP_NEQ",
+    "OP_EQ",
+    "OP_GT",
+    "OP_LT",
+]
+
+# Metadata filter operations, verbatim from Listing 3.1:
+OP_ALL = -2  # ignore metadata and return all neighbor vertices
+OP_NEQ = -1  # neighbor's metadata != input metadata
+OP_EQ = 0  # neighbor's metadata == input metadata
+OP_GT = 1  # neighbor's metadata > input metadata
+OP_LT = 2  # neighbor's metadata < input metadata
+
+_VALID_OPS = (OP_ALL, OP_NEQ, OP_EQ, OP_GT, OP_LT)
+
+
+@dataclass
+class GraphDBStats:
+    """Operation counters every backend maintains."""
+
+    edges_stored: int = 0
+    edges_scanned: int = 0  # adjacency entries returned/visited
+    adjacency_requests: int = 0
+    store_calls: int = 0
+
+
+class GraphDB(abc.ABC):
+    """Abstract base for all six GraphDB Service backends.
+
+    Subclasses implement :meth:`_store_edges` and :meth:`_get_adjacency`;
+    the base class provides metadata handling, metadata-filtered adjacency,
+    batch fringe expansion, and bookkeeping.  ``clock``/``cpu`` wire the
+    instance to its simulated host so CPU work is charged; both default to
+    private instances for standalone use.
+    """
+
+    #: Human-readable backend name, e.g. "grDB"; set by subclasses.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        cpu: CpuProfile | None = None,
+        metadata: MetadataStore | None = None,
+    ):
+        self.clock = clock if clock is not None else VirtualClock()
+        self.cpu = cpu if cpu is not None else CpuProfile()
+        self.metadata = metadata if metadata is not None else InMemoryMetadata()
+        self.stats = GraphDBStats()
+
+    # -- paper interface ----------------------------------------------------
+
+    def store_edges(self, edges) -> None:
+        """Store directed adjacency entries ``dst in adj(src)``.
+
+        The ingestion service emits both directions of each undirected
+        edge, each to the owner of its source endpoint.
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if len(edges) and edges.min() < 0:
+            raise GraphStorageException("negative vertex id in store_edges")
+        self._store_edges(edges)
+        self.stats.edges_stored += len(edges)
+        self.stats.store_calls += 1
+
+    def get_metadata(self, vertex: int) -> int:
+        return self.metadata.get(vertex)
+
+    def set_metadata(self, vertex: int, metadata: int) -> None:
+        self.metadata.set(vertex, metadata)
+
+    def get_adjacency_list_using_metadata(
+        self, vertex: int, adjlist: LongArray, metadata: int, operation: int
+    ) -> None:
+        """Append ``vertex``'s neighbors passing the metadata filter."""
+        if operation not in _VALID_OPS:
+            raise GraphStorageException(f"unknown metadata operation {operation}")
+        neighbors = self.get_adjacency(vertex)
+        if operation == OP_ALL or len(neighbors) == 0:
+            adjlist.extend(neighbors)
+            return
+        md = self.metadata.get_many(neighbors)
+        if operation == OP_NEQ:
+            mask = md != metadata
+        elif operation == OP_EQ:
+            mask = md == metadata
+        elif operation == OP_GT:
+            mask = md > metadata
+        else:
+            mask = md < metadata
+        adjlist.extend(neighbors[mask])
+
+    # -- convenience / batch ---------------------------------------------------
+
+    def get_adjacency(self, vertex: int) -> np.ndarray:
+        """All locally stored neighbors of ``vertex`` (empty if not local)."""
+        neighbors = self._get_adjacency(int(vertex))
+        self.stats.adjacency_requests += 1
+        self.stats.edges_scanned += len(neighbors)
+        self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
+        return neighbors
+
+    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
+        """Append the neighbors of every fringe vertex to ``adjlist``.
+
+        Default: one adjacency request per vertex.  StreamDB overrides this
+        with a single-pass scan over its edge log.
+        """
+        for v in np.asarray(vertices, dtype=np.int64):
+            adjlist.extend(self.get_adjacency(int(v)))
+
+    def prefetch_fringe(self, vertices) -> int:
+        """Warm storage for a coming fringe expansion; returns blocks fetched.
+
+        No-op by default; grDB overrides with offset-sorted block prefetch
+        (the paper's §4.2 future-work optimization).
+        """
+        return 0
+
+    def local_vertices(self) -> np.ndarray:
+        """Sorted global ids of vertices with locally stored adjacency.
+
+        Not part of the paper's Listing 3.1, but required by whole-graph
+        analyses (connected components, defragmentation sweeps); every
+        backend can enumerate cheaply from its own structures.
+        """
+        raise NotImplementedError(f"{type(self).__name__} cannot enumerate vertices")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finalize_ingest(self) -> None:
+        """Called once after all edges are stored (e.g. Array builds CSR)."""
+
+    def flush(self) -> None:
+        """Persist any cached state."""
+
+    def close(self) -> None:
+        self.flush()
+
+    # -- backend hooks -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def _store_edges(self, edges: np.ndarray) -> None:
+        """Store validated ``(E, 2)`` directed adjacency entries."""
+
+    @abc.abstractmethod
+    def _get_adjacency(self, vertex: int) -> np.ndarray:
+        """Return locally stored neighbors of ``vertex`` as int64 array."""

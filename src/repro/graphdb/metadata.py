@@ -1,0 +1,131 @@
+"""Per-vertex metadata stores (the get/setMetadata half of Listing 3.1).
+
+BFS stores search levels here ("visited" state).  Chapter 5 runs most
+experiments with an in-memory metadata/visited structure and one ablation
+(Fig. 5.8) with an external-memory one; both live here.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+
+import numpy as np
+
+from ..simcluster.disk import BlockDevice
+from ..storage.blockcache import LRUBlockCache
+from ..storage.pagedfile import PagedFile
+
+__all__ = ["MetadataStore", "InMemoryMetadata", "ExternalMetadata", "UNSET"]
+
+#: Default metadata value for vertices never written (plays the role of
+#: "level = infinity" in the BFS pseudocode; fits int32 storage).
+UNSET = 2**31 - 1
+
+
+class MetadataStore(abc.ABC):
+    """Integer metadata per vertex id, defaulting to :data:`UNSET`."""
+
+    @abc.abstractmethod
+    def get(self, vertex: int) -> int: ...
+
+    @abc.abstractmethod
+    def set(self, vertex: int, value: int) -> None: ...
+
+    def get_many(self, vertices) -> np.ndarray:
+        """Vectorized gather; default loops over :meth:`get`."""
+        vs = np.asarray(vertices, dtype=np.int64)
+        return np.array([self.get(int(v)) for v in vs], dtype=np.int64)
+
+    def clear(self) -> None:
+        """Reset every vertex to :data:`UNSET`."""
+        raise NotImplementedError
+
+
+class InMemoryMetadata(MetadataStore):
+    """Hash-map metadata store (sparse, grows with touched vertices)."""
+
+    def __init__(self):
+        self._values: dict[int, int] = {}
+
+    def get(self, vertex: int) -> int:
+        return self._values.get(int(vertex), UNSET)
+
+    def set(self, vertex: int, value: int) -> None:
+        self._values[int(vertex)] = int(value)
+
+    def get_many(self, vertices) -> np.ndarray:
+        vs = np.asarray(vertices, dtype=np.int64).ravel()
+        values = self._values
+        return np.fromiter(
+            (values.get(int(v), UNSET) for v in vs), dtype=np.int64, count=len(vs)
+        )
+
+    def clear(self) -> None:
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class ExternalMetadata(MetadataStore):
+    """Out-of-core metadata: an int32 array paged to a block device.
+
+    Used for the Fig. 5.8 ablation where even the visited structure no
+    longer fits in memory.  A small LRU page cache keeps hot pages local;
+    everything else pays device seeks, which is the measured effect.
+    """
+
+    VALUES_PER_PAGE = 1024
+
+    def __init__(self, device: BlockDevice, cache_pages: int = 64):
+        self.page_bytes = self.VALUES_PER_PAGE * 4
+        self.pages = PagedFile(device, self.page_bytes)
+        self.cache = LRUBlockCache(cache_pages, writer=self._write_page)
+        self._unset_page = struct.pack(">i", UNSET) * self.VALUES_PER_PAGE
+
+    def _write_page(self, page_no: int, data: bytes) -> None:
+        while self.pages.npages <= page_no:
+            self.pages.write_page(self.pages.npages, self._unset_page)
+        self.pages.write_page(page_no, data)
+
+    def _read_page(self, page_no: int) -> bytes:
+        data = self.cache.get(page_no)
+        if data is None:
+            if page_no >= self.pages.npages:
+                # Materialize the page (and any gap) on disk, as writing a
+                # real file-backed array would; first touch pays the I/O.
+                self._write_page(page_no, self._unset_page)
+            data = self.pages.read_page(page_no)
+            self.cache.put(page_no, data)
+        return data
+
+    def get(self, vertex: int) -> int:
+        page_no, slot = divmod(int(vertex), self.VALUES_PER_PAGE)
+        data = self._read_page(page_no)
+        return struct.unpack_from(">i", data, slot * 4)[0]
+
+    def set(self, vertex: int, value: int) -> None:
+        page_no, slot = divmod(int(vertex), self.VALUES_PER_PAGE)
+        buf = bytearray(self._read_page(page_no))
+        struct.pack_into(">i", buf, slot * 4, int(value))
+        self.cache.put(page_no, bytes(buf), dirty=True)
+
+    def get_many(self, vertices) -> np.ndarray:
+        vs = np.asarray(vertices, dtype=np.int64)
+        out = np.empty(len(vs), dtype=np.int64)
+        # Group by page so each page is fetched once per call.
+        pages = vs // self.VALUES_PER_PAGE
+        order = np.argsort(pages, kind="stable")
+        current_page, data = -1, b""
+        for idx in order:
+            page_no = int(pages[idx])
+            if page_no != current_page:
+                data = self._read_page(page_no)
+                current_page = page_no
+            slot = int(vs[idx] % self.VALUES_PER_PAGE)
+            out[idx] = struct.unpack_from(">i", data, slot * 4)[0]
+        return out
+
+    def flush(self) -> None:
+        self.cache.flush()

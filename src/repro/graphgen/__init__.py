@@ -1,0 +1,36 @@
+"""Graph generation and topology utilities (Table 5.1 workloads)."""
+
+from .csr import CSRGraph
+from .erdos import erdos_renyi_edges
+from .powerlaw import add_super_hub, dedupe_edges, preferential_attachment
+from .pubmed import pubmed_like, pubmed_ontology, pubmed_semantic_graph
+from .rmat import rmat_edges
+from .stats import GraphStats, graph_stats
+from .stream import (
+    edge_windows,
+    read_ascii_edges,
+    read_binary_edges,
+    split_for_ingesters,
+    write_ascii_edges,
+    write_binary_edges,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphStats",
+    "add_super_hub",
+    "dedupe_edges",
+    "edge_windows",
+    "erdos_renyi_edges",
+    "graph_stats",
+    "preferential_attachment",
+    "pubmed_like",
+    "pubmed_ontology",
+    "pubmed_semantic_graph",
+    "read_ascii_edges",
+    "read_binary_edges",
+    "rmat_edges",
+    "split_for_ingesters",
+    "write_ascii_edges",
+    "write_binary_edges",
+]

@@ -1,0 +1,74 @@
+"""Compressed sparse row (adjacency list) graph container.
+
+This is the same ``(xadj, adj)`` layout the paper's Array GraphDB uses
+(§4.1.1, Figure 4.1): ``adj`` concatenates all adjacency lists and
+``xadj[v] : xadj[v+1]`` brackets vertex ``v``'s slice.  Built once from an
+edge list with numpy, it is the reference topology used by generators,
+sequential BFS, and the Array backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Immutable undirected graph in compressed adjacency list form."""
+
+    def __init__(self, xadj: np.ndarray, adj: np.ndarray):
+        self.xadj = np.asarray(xadj, dtype=np.int64)
+        self.adj = np.asarray(adj, dtype=np.int64)
+        if self.xadj.ndim != 1 or self.adj.ndim != 1:
+            raise ValueError("xadj and adj must be 1-D")
+        if len(self.xadj) == 0 or self.xadj[0] != 0 or self.xadj[-1] != len(self.adj):
+            raise ValueError("xadj must start at 0 and end at len(adj)")
+
+    @classmethod
+    def from_edges(cls, edges: np.ndarray, num_vertices: int | None = None) -> "CSRGraph":
+        """Build from an ``(E, 2)`` array of undirected edges.
+
+        Each input edge contributes both directions; duplicate edges and
+        self-loops are preserved as given (callers dedupe upstream).
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        n = int(num_vertices) if num_vertices is not None else (
+            int(edges.max()) + 1 if len(edges) else 0
+        )
+        src = np.concatenate([edges[:, 0], edges[:, 1]])
+        dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=n)
+        xadj = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=xadj[1:])
+        return cls(xadj, dst)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.xadj) - 1
+
+    @property
+    def num_directed_edges(self) -> int:
+        return len(self.adj)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return len(self.adj) // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Zero-copy adjacency slice of vertex ``v``."""
+        return self.adj[self.xadj[v] : self.xadj[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.xadj[v + 1] - self.xadj[v])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.xadj)
+
+    def edge_list(self) -> np.ndarray:
+        """Recover one direction of each edge: all ``(u, v)`` with u <= v."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), np.diff(self.xadj))
+        mask = src <= self.adj
+        return np.column_stack([src[mask], self.adj[mask]])

@@ -1,0 +1,15 @@
+"""Semantic-graph typing: ontologies, typed graphs, validation."""
+
+from .schema import EdgeTypeRule, Ontology, example_meeting_ontology
+from .semgraph import SemanticGraph, TypedEdge
+from .validate import Violation, validate_graph
+
+__all__ = [
+    "EdgeTypeRule",
+    "Ontology",
+    "SemanticGraph",
+    "TypedEdge",
+    "Violation",
+    "example_meeting_ontology",
+    "validate_graph",
+]

@@ -1,0 +1,102 @@
+"""Ontology graphs: the typed blueprint of a semantic graph.
+
+Section 1 of the paper: an ontology is itself a small semantic graph whose
+vertices are *vertex types* and whose edges are *edge types*; an instance
+semantic graph may only contain an edge ``u --(r)--> v`` when the ontology
+allows the triple ``(type(u), r, type(v))``.  (E.g. in Figure 1.1, 'Date'
+vertices may not connect directly to 'Person' vertices — only through a
+'Meeting' via 'attends' and 'occurred on'.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..util.errors import OntologyError
+
+__all__ = ["Ontology", "EdgeTypeRule"]
+
+
+@dataclass(frozen=True)
+class EdgeTypeRule:
+    """One allowed triple: source vertex type, edge type, target vertex type."""
+
+    src_type: str
+    edge_type: str
+    dst_type: str
+
+
+class Ontology:
+    """A set of vertex types and allowed typed-edge triples.
+
+    ``symmetric`` rules (the default) allow the edge in both directions,
+    which matches the undirected semantic graphs of the paper's evaluation.
+    """
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        self._vertex_types: set[str] = set()
+        self._rules: set[tuple[str, str, str]] = set()
+        self._edge_types: set[str] = set()
+
+    @property
+    def vertex_types(self) -> frozenset[str]:
+        return frozenset(self._vertex_types)
+
+    @property
+    def edge_types(self) -> frozenset[str]:
+        return frozenset(self._edge_types)
+
+    @property
+    def rules(self) -> frozenset[EdgeTypeRule]:
+        return frozenset(EdgeTypeRule(*r) for r in self._rules)
+
+    def add_vertex_type(self, vtype: str) -> "Ontology":
+        if not vtype:
+            raise OntologyError("vertex type name cannot be empty")
+        self._vertex_types.add(vtype)
+        return self
+
+    def add_edge_type(
+        self, src_type: str, edge_type: str, dst_type: str, symmetric: bool = True
+    ) -> "Ontology":
+        for t in (src_type, dst_type):
+            if t not in self._vertex_types:
+                raise OntologyError(
+                    f"edge type {edge_type!r} references unknown vertex type {t!r}"
+                )
+        if not edge_type:
+            raise OntologyError("edge type name cannot be empty")
+        self._rules.add((src_type, edge_type, dst_type))
+        if symmetric:
+            self._rules.add((dst_type, edge_type, src_type))
+        self._edge_types.add(edge_type)
+        return self
+
+    def allows(self, src_type: str, edge_type: str, dst_type: str) -> bool:
+        return (src_type, edge_type, dst_type) in self._rules
+
+    def allowed_neighbors(self, src_type: str) -> set[tuple[str, str]]:
+        """All ``(edge_type, dst_type)`` pairs reachable from ``src_type``."""
+        return {(e, d) for s, e, d in self._rules if s == src_type}
+
+    def __contains__(self, vtype: str) -> bool:
+        return vtype in self._vertex_types
+
+    def __repr__(self) -> str:
+        return (
+            f"Ontology({self.name!r}, {len(self._vertex_types)} vertex types, "
+            f"{len(self._rules)} rules)"
+        )
+
+
+def example_meeting_ontology() -> Ontology:
+    """The Figure 1.1 ontology: people, meetings, travel, dates."""
+    onto = Ontology("figure-1.1")
+    for vt in ("Person", "Meeting", "Travel", "Date"):
+        onto.add_vertex_type(vt)
+    onto.add_edge_type("Person", "attends", "Meeting")
+    onto.add_edge_type("Person", "takes", "Travel")
+    onto.add_edge_type("Meeting", "occurred on", "Date")
+    onto.add_edge_type("Travel", "occurred on", "Date")
+    return onto

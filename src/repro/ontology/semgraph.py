@@ -1,0 +1,95 @@
+"""Typed semantic graph container.
+
+A :class:`SemanticGraph` carries vertex types and typed edges alongside the
+plain topology that the storage layer works on.  Vertex ids are the 64-bit
+global ids (GIDs) that flow through the whole system; ``edge_list`` strips
+types for ingestion, and type information stays available for validation and
+ontology-aware analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..util.errors import OntologyError
+from .schema import Ontology
+
+__all__ = ["SemanticGraph", "TypedEdge"]
+
+
+@dataclass(frozen=True)
+class TypedEdge:
+    src: int
+    dst: int
+    edge_type: str
+
+
+class SemanticGraph:
+    """A semantic graph: typed vertices plus typed (undirected) edges."""
+
+    def __init__(self, ontology: Ontology | None = None, name: str = "graph"):
+        self.ontology = ontology
+        self.name = name
+        self._vertex_types: dict[int, str] = {}
+        self._edges: list[TypedEdge] = []
+
+    # -- construction --------------------------------------------------
+
+    def add_vertex(self, gid: int, vtype: str) -> None:
+        if gid < 0:
+            raise OntologyError(f"vertex GID must be non-negative, got {gid}")
+        if self.ontology is not None and vtype not in self.ontology:
+            raise OntologyError(f"vertex type {vtype!r} not in ontology {self.ontology.name!r}")
+        existing = self._vertex_types.get(gid)
+        if existing is not None and existing != vtype:
+            raise OntologyError(f"vertex {gid} already has type {existing!r}, not {vtype!r}")
+        self._vertex_types[gid] = vtype
+
+    def add_edge(self, src: int, dst: int, edge_type: str = "related") -> None:
+        for v in (src, dst):
+            if v not in self._vertex_types:
+                raise OntologyError(f"edge endpoint {v} has no declared vertex type")
+        if self.ontology is not None:
+            st, dt = self._vertex_types[src], self._vertex_types[dst]
+            if not self.ontology.allows(st, edge_type, dt):
+                raise OntologyError(
+                    f"ontology {self.ontology.name!r} forbids {st!r} --({edge_type})--> {dt!r}"
+                )
+        self._edges.append(TypedEdge(src, dst, edge_type))
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_types)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def vertex_type(self, gid: int) -> str:
+        try:
+            return self._vertex_types[gid]
+        except KeyError:
+            raise OntologyError(f"unknown vertex {gid}") from None
+
+    def vertices(self) -> Iterator[tuple[int, str]]:
+        return iter(self._vertex_types.items())
+
+    def edges(self) -> Iterator[TypedEdge]:
+        return iter(self._edges)
+
+    def edge_list(self) -> np.ndarray:
+        """Plain ``(E, 2)`` int64 edge array for the storage layer."""
+        if not self._edges:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.array([(e.src, e.dst) for e in self._edges], dtype=np.int64)
+
+    def type_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for t in self._vertex_types.values():
+            hist[t] = hist.get(t, 0) + 1
+        return hist

@@ -1,0 +1,52 @@
+"""Ontology validation of semantic graphs.
+
+:class:`SemanticGraph` already enforces its ontology incrementally; this
+module validates graphs that arrive *untyped or untrusted* — e.g. a bulk
+edge list about to be ingested — and reports every violation instead of
+stopping at the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .schema import Ontology
+from .semgraph import SemanticGraph
+
+__all__ = ["Violation", "validate_graph"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    kind: str  # "unknown-vertex-type" | "forbidden-edge"
+    detail: str
+
+
+def validate_graph(graph: SemanticGraph, ontology: Ontology | None = None) -> list[Violation]:
+    """Check every vertex and edge of ``graph`` against ``ontology``.
+
+    Returns a list of violations (empty when the graph conforms).  Uses the
+    graph's own ontology when none is given.
+    """
+    onto = ontology if ontology is not None else graph.ontology
+    if onto is None:
+        raise ValueError("no ontology supplied and the graph carries none")
+    violations: list[Violation] = []
+    for gid, vtype in graph.vertices():
+        if vtype not in onto:
+            violations.append(
+                Violation("unknown-vertex-type", f"vertex {gid} has type {vtype!r}")
+            )
+    for edge in graph.edges():
+        st = graph.vertex_type(edge.src)
+        dt = graph.vertex_type(edge.dst)
+        if st not in onto or dt not in onto:
+            continue  # already reported as unknown-vertex-type
+        if not onto.allows(st, edge.edge_type, dt):
+            violations.append(
+                Violation(
+                    "forbidden-edge",
+                    f"{edge.src}({st}) --({edge.edge_type})--> {edge.dst}({dt})",
+                )
+            )
+    return violations

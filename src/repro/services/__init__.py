@@ -1,0 +1,23 @@
+"""MSSG services: ingestion, query orchestration, declustering."""
+
+from .declustering import (
+    Declusterer,
+    EdgeRoundRobin,
+    VertexHash,
+    VertexRoundRobin,
+    WindowGreedy,
+)
+from .ingestion import IngestionService, IngestReport
+from .query import QueryReport, QueryService
+
+__all__ = [
+    "Declusterer",
+    "EdgeRoundRobin",
+    "IngestReport",
+    "IngestionService",
+    "QueryReport",
+    "QueryService",
+    "VertexHash",
+    "VertexRoundRobin",
+    "WindowGreedy",
+]

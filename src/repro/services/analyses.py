@@ -1,0 +1,242 @@
+"""Extension analyses for the Query Service.
+
+The paper positions MSSG as "a flexible and efficient framework to allow
+the development and analysis of different graph algorithms" (ch. 6); BFS
+is just the demonstration plug-in.  This module supplies two further
+analyses written against the same GraphDB/communicator contracts:
+
+* **connected components** — distributed min-label propagation over the
+  stored graph, working under both vertex- and edge-granularity
+  declustering (each rank proposes label updates from its local adjacency;
+  proposals merge with an allreduce each round);
+* **typed BFS** — ontology-constrained search (after Eliassi-Rad & Chow,
+  the paper's reference [32]): fringe expansion keeps only neighbors whose
+  vertex-type metadata is in an allowed set, implemented directly with
+  Listing 3.1's ``getAdjacencyListUsingMetadata(..., OP_EQ)`` filter.
+
+Both register automatically via :meth:`QueryService.register_extensions`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bfs.oocbfs import BFSConfig
+from ..bfs.paths import path_bfs_program
+from ..bfs.visited import InMemoryVisited
+from ..graphdb.interface import OP_EQ, GraphDB
+from ..util.longarray import LongArray
+from .query import QueryReport, QueryService
+
+__all__ = ["register_extensions", "components_program", "typed_bfs_program"]
+
+
+def _merge_min_labels(a: dict, b: dict) -> dict:
+    out = dict(a)
+    for v, label in b.items():
+        if label < out.get(v, 1 << 62):
+            out[v] = label
+    return out
+
+
+def components_program(ctx, db: GraphDB, max_rounds: int = 200):
+    """Rank program: min-label propagation until global quiescence.
+
+    Every rank keeps a replicated label table for all vertices it has seen
+    (the same memory trade the paper makes for the BFS visited structure)
+    and, each round, proposes ``min(label(v), label(u))`` for every locally
+    stored edge ``(v, u)`` whose endpoints' labels disagree.  Proposals are
+    merged with a min-allreduce; the round's changed vertices form the next
+    frontier.  Works for both vertex- and edge-granularity storage because
+    a rank only proposes from adjacency it actually holds.
+    """
+    comm = ctx.comm
+    mine = db.local_vertices()
+    labels: dict[int, int] = {}
+
+    # Discover the vertex universe (sources + their stored neighbors).
+    seed: dict[int, int] = {}
+    for v in mine:
+        v = int(v)
+        seed[v] = min(seed.get(v, v), v)
+        for u in db.get_adjacency(v):
+            u = int(u)
+            seed[u] = min(seed.get(u, u), u)
+    merged_seed = yield from comm.allreduce(seed, _merge_min_labels)
+    # Copy: in-process collectives deliver one shared object to every rank,
+    # and this table is mutated rank-locally below.
+    labels = dict(merged_seed)
+    frontier = np.array(sorted(labels), dtype=np.int64)
+
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        proposals: dict[int, int] = {}
+        for v in frontier:
+            v = int(v)
+            lv = labels[v]
+            neighbors = db.get_adjacency(v)
+            if len(neighbors) == 0:
+                continue
+            for u in neighbors:
+                u = int(u)
+                lu = labels[u]
+                if lu < lv:
+                    lv = lu
+                elif lv < lu and lv < proposals.get(u, 1 << 62):
+                    proposals[u] = lv
+            if lv < labels[v] and lv < proposals.get(v, 1 << 62):
+                proposals[v] = lv
+        merged = yield from comm.allreduce(proposals, _merge_min_labels)
+        changed = [v for v, label in merged.items() if label < labels[v]]
+        for v in changed:
+            labels[v] = merged[v]
+        if not changed:
+            break
+        frontier = np.array(sorted(changed), dtype=np.int64)
+
+    return labels, rounds
+
+
+def typed_bfs_program(ctx, db: GraphDB, source: int, dest: int, allowed_codes, max_levels: int = 64):
+    """Rank program: BFS that may only traverse allowed vertex types.
+
+    Vertex types must already be loaded as per-vertex metadata (integer
+    type codes) on every back-end; expansion then unions one
+    ``OP_EQ``-filtered adjacency fetch per allowed code — exactly the
+    higher-level operation Listing 3.1 was designed to make cheap.
+    Returns the found level or -1.
+    """
+    comm = ctx.comm
+    size = comm.size
+    visited: set[int] = {int(source)}
+    fringe = np.array([int(source)], dtype=np.int64)
+    levcnt = 0
+    allowed = [int(c) for c in allowed_codes]
+
+    while True:
+        levcnt += 1
+        out = LongArray()
+        for v in fringe:
+            for code in allowed:
+                db.get_adjacency_list_using_metadata(int(v), out, code, OP_EQ)
+        neighbors = out.to_numpy()
+        found_here = bool(len(neighbors)) and bool(np.any(neighbors == dest))
+        new = np.unique(neighbors) if len(neighbors) else neighbors
+        new = np.array([u for u in new if int(u) not in visited], dtype=np.int64)
+        gathered = yield from comm.allgather(new)
+        incoming = (
+            np.unique(np.concatenate([np.asarray(g, dtype=np.int64) for g in gathered]))
+            if any(len(g) for g in gathered)
+            else np.empty(0, dtype=np.int64)
+        )
+        fresh = np.array([u for u in incoming if int(u) not in visited], dtype=np.int64)
+        visited.update(int(u) for u in fresh)
+        fringe = fresh
+        found_any, total = yield from comm.allreduce(
+            (found_here, len(fresh)), lambda a, b: (a[0] or b[0], a[1] + b[1])
+        )
+        if found_any:
+            return levcnt
+        if total == 0 or levcnt >= max_levels:
+            return -1
+
+
+def register_extensions(service: QueryService) -> None:
+    """Register the extension analyses on a query service."""
+
+    def components(max_rounds: int = 200) -> QueryReport:
+        def make(q):
+            def program(ctx):
+                result = yield from components_program(ctx, service.dbs[q], max_rounds)
+                return result
+
+            return program
+
+        results = service._run_on_backends(make)
+        labels, _ = results[0]
+        counts: dict[int, int] = {}
+        for label in labels.values():
+            counts[label] = counts.get(label, 0) + 1
+        return QueryReport(
+            analysis="components",
+            seconds=service.cluster.makespan,
+            result={
+                "num_components": len(counts),
+                "sizes": sorted(counts.values(), reverse=True),
+                "labels": labels,
+            },
+            levels=max(r[1] for r in results),
+        )
+
+    def load_vertex_types(type_codes: dict) -> QueryReport:
+        """Replicate the vertex-type metadata table onto every back-end."""
+
+        def make(q):
+            def program(ctx):
+                db = service.dbs[q]
+                for v, code in type_codes.items():
+                    db.set_metadata(int(v), int(code))
+                yield from ctx.comm.barrier()
+                return len(type_codes)
+
+            return program
+
+        results = service._run_on_backends(make)
+        return QueryReport(
+            analysis="load-vertex-types",
+            seconds=service.cluster.makespan,
+            result=results[0],
+        )
+
+    def typed_bfs(source, dest, allowed_codes, max_levels: int = 64) -> QueryReport:
+        def make(q):
+            def program(ctx):
+                level = yield from typed_bfs_program(
+                    ctx, service.dbs[q], int(source), int(dest), allowed_codes, max_levels
+                )
+                return level
+
+            return program
+
+        results = service._run_on_backends(make)
+        level = results[0]
+        return QueryReport(
+            analysis="typed-bfs",
+            seconds=service.cluster.makespan,
+            result=None if level < 0 else level,
+        )
+
+    def path(source, dest, max_levels: int = 64) -> QueryReport:
+        """Relationship chain: the actual shortest vertex path, not just
+        its length (the "show me the connection" query of the paper's
+        homeland-security motivation)."""
+        cfg = BFSConfig(
+            source=int(source),
+            dest=int(dest),
+            owner_known=service.declusterer.owner_known,
+            max_levels=max_levels,
+        )
+        owner_of = (
+            service.declusterer.owner_of if service.declusterer.owner_known else None
+        )
+
+        def make(q):
+            def program(ctx):
+                result = yield from path_bfs_program(
+                    ctx, service.dbs[q], cfg, InMemoryVisited(), owner_of=owner_of
+                )
+                return result
+
+            return program
+
+        results = service._run_on_backends(make)
+        assert all(r == results[0] for r in results), "ranks disagree on the path"
+        return QueryReport(
+            analysis="path", seconds=service.cluster.makespan, result=results[0]
+        )
+
+    service.register("components", components)
+    service.register("load-vertex-types", load_vertex_types)
+    service.register("typed-bfs", typed_bfs)
+    service.register("path", path)

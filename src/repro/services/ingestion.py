@@ -1,0 +1,175 @@
+"""Ingestion Service (§3.2): streaming edges into back-end GraphDBs.
+
+The entry point of graph data into MSSG.  Front-end nodes read their share
+of the edge stream in fixed-size *windows* (blocks), pay the ASCII-parsing
+CPU cost of the input format, apply the configured declusterer, and ship
+per-back-end blocks over keyed DataCutter streams; each back-end node hosts
+a GraphDB-writer filter that stores arriving blocks.
+
+Expressed as the DataCutter filter graph
+
+    reader (x F copies, front-end ranks)  --keyed-->  writer (x P copies)
+
+exactly as Figure 3.1 lays the services out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacutter import END_OF_STREAM, DataCutterRuntime, Filter, FilterGraph
+from ..graphdb.interface import GraphDB
+from ..graphgen.stream import edge_windows, split_for_ingesters
+from ..simcluster.cluster import SimCluster
+from ..util.errors import ConfigError
+from .declustering import Declusterer
+
+__all__ = ["IngestionService", "IngestReport"]
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one ingestion run."""
+
+    seconds: float  # virtual makespan of the whole ingestion
+    edges_ingested: int  # undirected edges consumed from the stream
+    entries_stored: int  # directed adjacency entries written to back-ends
+    windows: int
+    per_backend_entries: list[int]
+
+    @property
+    def edges_per_second(self) -> float:
+        return self.edges_ingested / self.seconds if self.seconds else float("inf")
+
+
+class _EdgeReader(Filter):
+    """Front-end filter: parse windows, decluster, emit per-back-end blocks.
+
+    Instantiated as one filter spec with F copies; each copy reads its
+    contiguous share of the edge stream (selected by copy index).
+    """
+
+    outputs = ("blocks",)
+
+    def __init__(self, shares: list[np.ndarray], window_size: int, declusterer: Declusterer, ascii_input: bool):
+        self.shares = shares
+        self.window_size = window_size
+        self.declusterer = declusterer
+        self.ascii_input = ascii_input
+
+    def process(self, ctx):
+        windows = 0
+        for window in edge_windows(self.shares[ctx.copy_index], self.window_size):
+            windows += 1
+            if self.ascii_input:
+                # Parsing "src dst" text lines is front-end CPU work; the
+                # paper calls out the ASCII-in/binary-out asymmetry (Fig 5.5).
+                ctx.rank_ctx.compute(len(window) * ctx.rank_ctx.cpu.ascii_parse_seconds)
+            parts = self.declusterer.assign(window)
+            for q, part in enumerate(parts):
+                if len(part):
+                    ctx.write("blocks", (q, part), size=16 * len(part) + 8)
+        ctx.close_output("blocks")
+        return windows
+
+
+class _GraphDBWriter(Filter):
+    """Back-end filter: store arriving blocks into this node's GraphDB."""
+
+    inputs = ("blocks",)
+
+    def __init__(self, db: GraphDB):
+        self.db = db
+
+    def process(self, ctx):
+        stored = 0
+        while True:
+            item = yield from ctx.read("blocks")
+            if item is END_OF_STREAM:
+                break
+            _, block = item
+            self.db.store_edges(block)
+            stored += len(block)
+        self.db.finalize_ingest()
+        self.db.flush()
+        return stored
+
+
+class IngestionService:
+    """Runs streaming ingestion on a simulated cluster.
+
+    ``cluster`` must have ``num_frontends + num_backends`` ranks; ranks
+    ``[0, F)`` are front-ends, ``[F, F+P)`` are back-ends holding ``dbs``.
+    """
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        dbs: list[GraphDB],
+        declusterer: Declusterer,
+        num_frontends: int = 1,
+        window_size: int = 4096,
+        ascii_input: bool = True,
+    ):
+        if num_frontends < 1:
+            raise ConfigError("need at least one front-end ingestion node")
+        if declusterer.p != len(dbs):
+            raise ConfigError(
+                f"declusterer targets {declusterer.p} back-ends but {len(dbs)} DBs given"
+            )
+        if cluster.nranks < num_frontends + len(dbs):
+            raise ConfigError(
+                f"cluster has {cluster.nranks} ranks; need {num_frontends + len(dbs)}"
+            )
+        self.cluster = cluster
+        self.dbs = dbs
+        self.declusterer = declusterer
+        self.num_frontends = num_frontends
+        self.window_size = window_size
+        self.ascii_input = ascii_input
+
+    def ingest(self, edges: np.ndarray) -> IngestReport:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        F, P = self.num_frontends, len(self.dbs)
+        shares = split_for_ingesters(edges, F)
+        graph = FilterGraph()
+        graph.add_filter(
+            "reader",
+            lambda: _EdgeReader(shares, self.window_size, self.declusterer, self.ascii_input),
+            placement=list(range(F)),
+        )
+        graph.add_filter(
+            "writer",
+            # One writer spec with P copies; each copy binds its own DB by
+            # copy index (copy q sits on rank F + q).
+            lambda: _DispatchWriter(self.dbs, F),
+            placement=[F + q for q in range(P)],
+        )
+        graph.connect(
+            "reader", "blocks", "writer", "blocks",
+            policy="keyed", key_fn=lambda item: item[0],
+        )
+        results = DataCutterRuntime(graph, self.cluster).run()
+        per_backend = list(results["writer"])
+        return IngestReport(
+            seconds=self.cluster.makespan,
+            edges_ingested=len(edges),
+            entries_stored=sum(per_backend),
+            windows=sum(results["reader"]),
+            per_backend_entries=per_backend,
+        )
+
+
+class _DispatchWriter(_GraphDBWriter):
+    """Writer copy that picks its GraphDB from the copy index."""
+
+    def __init__(self, dbs: list[GraphDB], frontends: int):
+        self._dbs = dbs
+        self._frontends = frontends
+
+    def process(self, ctx):
+        self.db = self._dbs[ctx.copy_index]
+        result = yield from super().process(ctx)
+        return result

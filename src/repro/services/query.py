@@ -1,0 +1,273 @@
+"""Query Service (§3.3): registry and orchestration of analyses.
+
+Data-analysis techniques register with the service by name and run against
+the stored graph through the unified GraphDB interface, with awareness of
+the data distribution (vertex- vs edge-granularity).  The reference
+analysis is the relationship query of §4.2 — parallel out-of-core BFS in
+its level-synchronous (Algorithm 1) and pipelined (Algorithm 2) forms —
+plus two further analyses as examples of the pluggable interface:
+``degree`` (local degree census) and ``neighborhood`` (k-hop vertex count).
+
+Queries execute on the *back-end* ranks of the cluster through a
+sub-communicator; front-end ranks sit idle, exactly as in the deployment
+of Figure 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..bfs import (
+    BFSConfig,
+    ExternalVisited,
+    InMemoryVisited,
+    NOT_FOUND,
+    oocbfs_program,
+    pipelined_bfs_program,
+)
+from ..graphdb.interface import GraphDB
+from ..simcluster.cluster import SimCluster
+from ..simcluster.comm import SubComm
+from ..util.errors import ConfigError
+from .declustering import Declusterer
+
+__all__ = ["QueryService", "QueryReport"]
+
+
+@dataclass
+class QueryReport:
+    """Aggregated outcome of one query run."""
+
+    analysis: str
+    seconds: float  # virtual makespan across back-end ranks
+    result: Any
+    edges_scanned: int = 0
+    levels: int = 0
+
+    @property
+    def edges_per_second(self) -> float:
+        return self.edges_scanned / self.seconds if self.seconds > 0 else 0.0
+
+
+class QueryService:
+    """Runs registered analyses on the back-end partition of a cluster."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        dbs: list[GraphDB],
+        declusterer: Declusterer,
+        num_frontends: int = 0,
+    ):
+        if cluster.nranks < num_frontends + len(dbs):
+            raise ConfigError("cluster too small for the requested service layout")
+        self.cluster = cluster
+        self.dbs = dbs
+        self.declusterer = declusterer
+        self.num_frontends = num_frontends
+        self._visited_seq = 0
+        self._analyses: dict[str, Callable] = {}
+        self.register("bfs", self._bfs_analysis)
+        self.register("pipelined-bfs", self._pipelined_bfs_analysis)
+        self.register("degree", self._degree_analysis)
+        self.register("neighborhood", self._neighborhood_analysis)
+        # Extension analyses live in their own module (runtime import to
+        # avoid a cycle: analyses.py needs QueryReport from this module).
+        from .analyses import register_extensions
+
+        register_extensions(self)
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, name: str, runner: Callable) -> None:
+        """Register an analysis: ``runner(**params) -> QueryReport``."""
+        self._analyses[name] = runner
+
+    def analyses(self) -> list[str]:
+        return sorted(self._analyses)
+
+    def query(self, analysis: str, **params) -> QueryReport:
+        runner = self._analyses.get(analysis)
+        if runner is None:
+            raise ConfigError(
+                f"no analysis {analysis!r} registered; available: {self.analyses()}"
+            )
+        return runner(**params)
+
+    # -- execution plumbing ----------------------------------------------------
+
+    def _backend_ranks(self) -> list[int]:
+        F = self.num_frontends
+        return list(range(F, F + len(self.dbs)))
+
+    def _run_on_backends(self, make_backend_program) -> list[Any]:
+        """Run a program on each back-end rank (front-ends idle), using a
+        sub-communicator so the analysis sees dense ranks 0..P-1."""
+        backend_ranks = self._backend_ranks()
+        group = set(backend_ranks)
+
+        def program(ctx):
+            if ctx.rank not in group:
+                return None
+            subcomm = SubComm(ctx.comm, backend_ranks)
+            sub_ctx = _SubContext(ctx, subcomm)
+            q = backend_ranks.index(ctx.rank)
+            result = yield from make_backend_program(q)(sub_ctx)
+            return result
+
+        raw = self.cluster.run(program)
+        return [raw[r] for r in backend_ranks]
+
+    # -- built-in analyses ---------------------------------------------------------
+
+    def _make_visited(self, ctx, kind: str, seq: int):
+        if kind == "memory":
+            return InMemoryVisited()
+        if kind == "external":
+            # A fresh scratch file per query: level marks must not leak
+            # between searches.
+            return ExternalVisited(ctx.node.disk(f"visited-{seq}"))
+        raise ConfigError(f"unknown visited structure {kind!r}")
+
+    def _bfs_common(self, program, source, dest, visited, max_levels, prefetch=False, **alg_kw):
+        cfg = BFSConfig(
+            source=int(source),
+            dest=int(dest),
+            owner_known=self.declusterer.owner_known,
+            max_levels=max_levels,
+            prefetch=prefetch,
+        )
+        owner_of = self.declusterer.owner_of if self.declusterer.owner_known else None
+        self._visited_seq += 1
+        seq = self._visited_seq
+
+        def make(q):
+            def backend_program(ctx):
+                vis = self._make_visited(ctx, visited, seq)
+                res = yield from program(
+                    ctx, self.dbs[q], cfg, vis, owner_of=owner_of, **alg_kw
+                )
+                return res
+
+            return backend_program
+
+        results = self._run_on_backends(make)
+        levels = {r.found_level for r in results}
+        if len(levels) != 1:
+            raise ConfigError(f"back-ends disagree on BFS outcome: {levels}")
+        found = results[0].found_level
+        return QueryReport(
+            analysis="bfs",
+            seconds=self.cluster.makespan,
+            result=None if found == NOT_FOUND else found,
+            edges_scanned=sum(r.edges_scanned for r in results),
+            levels=max(r.levels_expanded for r in results),
+        )
+
+    def _bfs_analysis(self, source, dest, visited="memory", max_levels=64, prefetch=False):
+        return self._bfs_common(
+            oocbfs_program, source, dest, visited, max_levels, prefetch=prefetch
+        )
+
+    def _pipelined_bfs_analysis(
+        self,
+        source,
+        dest,
+        visited="memory",
+        max_levels=64,
+        threshold=256,
+        poll_batch=64,
+        prefetch=False,
+    ):
+        return self._bfs_common(
+            pipelined_bfs_program,
+            source,
+            dest,
+            visited,
+            max_levels,
+            prefetch=prefetch,
+            threshold=threshold,
+            poll_batch=poll_batch,
+        )
+
+    def _degree_analysis(self, vertices):
+        """Total locally-stored degree of each requested vertex."""
+        vertices = [int(v) for v in vertices]
+
+        def make(q):
+            def backend_program(ctx):
+                local = {v: len(self.dbs[q].get_adjacency(v)) for v in vertices}
+                totals = yield from ctx.comm.allreduce(
+                    local, lambda a, b: {v: a[v] + b[v] for v in a}
+                )
+                return totals
+
+            return backend_program
+
+        results = self._run_on_backends(make)
+        return QueryReport(
+            analysis="degree", seconds=self.cluster.makespan, result=results[0]
+        )
+
+    def _neighborhood_analysis(self, source, hops):
+        """Count of vertices within ``hops`` of ``source`` (incl. source)."""
+        cfg_dest = -1  # unreachable sentinel: run a bounded full BFS
+
+        def make(q):
+            def backend_program(ctx):
+                vis = InMemoryVisited()
+                cfg = BFSConfig(
+                    source=int(source),
+                    dest=cfg_dest,
+                    owner_known=self.declusterer.owner_known,
+                    max_levels=int(hops),
+                )
+                owner_of = (
+                    self.declusterer.owner_of if self.declusterer.owner_known else None
+                )
+                res = yield from oocbfs_program(
+                    ctx, self.dbs[q], cfg, vis, owner_of=owner_of
+                )
+                # Owner mode: per-rank fringes are disjoint, so they sum.
+                # Broadcast mode: every rank holds the full fringe, so only
+                # rank 0 contributes.  The source itself counts once.
+                mine = res.fringe_vertices if (cfg.owner_known or ctx.comm.rank == 0) else 0
+                if ctx.comm.rank == 0:
+                    mine += 1
+                total = yield from ctx.comm.allreduce(mine, lambda a, b: a + b)
+                return total
+
+            return backend_program
+
+        results = self._run_on_backends(make)
+        return QueryReport(
+            analysis="neighborhood", seconds=self.cluster.makespan, result=results[0]
+        )
+
+
+class _SubContext:
+    """RankContext facade exposing the sub-communicator to analyses."""
+
+    def __init__(self, parent_ctx, subcomm: SubComm):
+        self._parent = parent_ctx
+        self.comm = subcomm
+        self.rank = subcomm.rank
+        self.size = subcomm.size
+        self.node = parent_ctx.node
+
+    @property
+    def clock(self):
+        return self._parent.clock
+
+    @property
+    def cpu(self):
+        return self._parent.cpu
+
+    def compute(self, seconds: float) -> None:
+        self._parent.compute(seconds)
+
+    def charge_edges(self, nedges: int) -> None:
+        self._parent.charge_edges(nedges)

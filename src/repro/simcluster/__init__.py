@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation of a storage cluster.
+
+This package is the substitute for the paper's 64-node Opteron cluster:
+rank programs written against an MPI-like :class:`Comm` run as coroutines
+under a conservative discrete-event :class:`Scheduler`; per-node
+:class:`BlockDevice` disks store real bytes while charging virtual time from
+calibrated seek/bandwidth/CPU cost models.
+"""
+
+from .cluster import RankContext, SimCluster, SimNode
+from .comm import ANY, Comm, SubComm
+from .costmodel import CpuProfile, DiskProfile, NetworkProfile, NodeSpec
+from .disk import BlockDevice, DiskStats, FileBacking, MemoryBacking
+from .message import Message
+from .scheduler import RankState, Scheduler
+from .virtualtime import VirtualClock
+
+__all__ = [
+    "ANY",
+    "BlockDevice",
+    "Comm",
+    "CpuProfile",
+    "DiskProfile",
+    "DiskStats",
+    "FileBacking",
+    "MemoryBacking",
+    "Message",
+    "NetworkProfile",
+    "NodeSpec",
+    "RankContext",
+    "RankState",
+    "Scheduler",
+    "SimCluster",
+    "SimNode",
+    "SubComm",
+    "VirtualClock",
+]

@@ -1,0 +1,247 @@
+"""Simulated block storage: real bytes, virtual time.
+
+A :class:`BlockDevice` stores genuine bytes (in memory or in a real file on
+the host filesystem) while charging its owning node's :class:`VirtualClock`
+from a :class:`~repro.simcluster.costmodel.DiskProfile`.  Sequential access
+(a request starting exactly where the previous one ended) skips the seek
+charge, so append-only engines like StreamDB come out fast and random
+sub-block access (grDB without its cache) comes out seek-bound — the
+asymmetry that drives every out-of-core result in the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .costmodel import DiskProfile
+from .virtualtime import VirtualClock
+
+__all__ = ["MemoryBacking", "FileBacking", "BlockDevice", "DiskStats", "OSPageCache"]
+
+
+class OSPageCache:
+    """A node-wide OS page cache (time model only).
+
+    Shared by every :class:`BlockDevice` of a node, mirroring how one
+    kernel page cache fronts all files on a host.  Keys are
+    ``(device name, page number)``; capacity is in pages.
+    """
+
+    def __init__(self, capacity_pages: int):
+        self.capacity = max(1, int(capacity_pages))
+        self.pages: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, key: tuple[str, int]) -> bool:
+        """Record an access; returns True on hit."""
+        if key in self.pages:
+            self.pages.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self.insert(key)
+        return False
+
+    def insert(self, key: tuple[str, int]) -> None:
+        self.pages[key] = None
+        if len(self.pages) > self.capacity:
+            self.pages.popitem(last=False)
+
+
+class MemoryBacking:
+    """Byte storage in an auto-growing in-process buffer.
+
+    Used by tests and by benchmarks that model the disk purely through the
+    cost model (which is what determines virtual time either way).
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        end = offset + nbytes
+        if end > len(self._buf):
+            # Reads past the written extent return zero-fill, like a sparse file.
+            data = bytes(self._buf[offset : len(self._buf)])
+            return data + b"\x00" * (nbytes - len(data))
+        return bytes(self._buf[offset:end])
+
+    def write(self, offset: int, data: bytes) -> None:
+        if not data:
+            return  # zero-length writes do not extend the file
+        end = offset + len(data)
+        if end > len(self._buf):
+            self._buf.extend(b"\x00" * (end - len(self._buf)))
+        self._buf[offset:end] = data
+
+    def size(self) -> int:
+        return len(self._buf)
+
+    def close(self) -> None:
+        pass
+
+
+class FileBacking:
+    """Byte storage in a real file (sparse-friendly, pread/pwrite style)."""
+
+    def __init__(self, path: str | os.PathLike):
+        self._path = os.fspath(path)
+        os.makedirs(os.path.dirname(self._path) or ".", exist_ok=True)
+        # "r+b" honors seek positions for writes; create the file first if new.
+        if not os.path.exists(self._path):
+            open(self._path, "xb").close()
+        self._f = open(self._path, "r+b")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        self._f.seek(offset)
+        data = self._f.read(nbytes)
+        if len(data) < nbytes:
+            data += b"\x00" * (nbytes - len(data))
+        return data
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._f.seek(offset)
+        self._f.write(data)
+
+    def size(self) -> int:
+        self._f.seek(0, os.SEEK_END)
+        return self._f.tell()
+
+    def close(self) -> None:
+        self._f.close()
+
+
+@dataclass
+class DiskStats:
+    """Operation counters for one device, used by tests and reports."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    busy_seconds: float = 0.0
+
+    def snapshot(self) -> "DiskStats":
+        return DiskStats(**vars(self))
+
+
+class BlockDevice:
+    """A disk with real contents and a virtual-time cost model.
+
+    Parameters
+    ----------
+    backing:
+        Where bytes live (:class:`MemoryBacking` or :class:`FileBacking`).
+    profile:
+        Seek/bandwidth cost model; ``None`` disables time charging (the
+        device still stores data and counts operations).
+    clock:
+        The owning node's clock.  A private clock is created when omitted so
+        engines can run standalone and still report virtual busy time.
+    """
+
+    def __init__(
+        self,
+        backing: MemoryBacking | FileBacking | None = None,
+        profile: DiskProfile | None = None,
+        clock: VirtualClock | None = None,
+        name: str = "disk0",
+        os_cache: OSPageCache | None = None,
+    ):
+        self.backing = backing if backing is not None else MemoryBacking()
+        self.profile = profile
+        self.clock = clock if clock is not None else VirtualClock()
+        self.name = name
+        self.stats = DiskStats()
+        self._head = -1  # byte position after the last request; -1 = unknown
+        # OS page cache (time model only — bytes always come from backing).
+        # Shared per node when the caller passes one; a private cache is
+        # created when only the profile asks for caching.
+        self._os_cache = os_cache
+        if (
+            self._os_cache is None
+            and profile is not None
+            and profile.os_cache_bytes > 0
+        ):
+            self._os_cache = OSPageCache(profile.os_cache_bytes // profile.os_page_bytes)
+
+    def _os_cache_read(self, offset: int, nbytes: int) -> None:
+        """Charge a read through the OS page cache: cached pages pay a
+        syscall+copy; missing pages pay physical seek/transfer and are
+        inserted."""
+        prof = self.profile
+        cache = self._os_cache
+        page = prof.os_page_bytes
+        first, last = offset // page, (offset + max(nbytes, 1) - 1) // page
+        hits = 0
+        any_miss = False
+        cost = 0.0
+        for p in range(first, last + 1):
+            if cache.touch((self.name, p)):
+                hits += 1
+            else:
+                # Each contiguous miss run costs one seek + its transfer.
+                cost += prof.read_cost(
+                    page, sequential=any_miss or (p * page == self._head)
+                )
+                any_miss = True
+        cost += hits * prof.os_read_hit_seconds
+        if any_miss:
+            self.stats.seeks += 1
+            self._head = (last + 1) * page
+        self.clock.advance(cost)
+        self.stats.busy_seconds += cost
+
+    def _charge(self, offset: int, nbytes: int, write: bool) -> None:
+        if not write and self._os_cache is not None and self.profile is not None:
+            self._os_cache_read(offset, nbytes)
+            return
+        sequential = offset == self._head
+        if not sequential:
+            self.stats.seeks += 1
+        if self.profile is not None:
+            cost = (
+                self.profile.write_cost(nbytes, sequential)
+                if write
+                else self.profile.read_cost(nbytes, sequential)
+            )
+            self.clock.advance(cost)
+            self.stats.busy_seconds += cost
+        self._head = offset + nbytes
+        if write and self._os_cache is not None and self.profile is not None:
+            page = self.profile.os_page_bytes
+            for p in range(offset // page, (offset + max(nbytes, 1) - 1) // page + 1):
+                self._os_cache.insert((self.name, p))
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        if offset < 0 or nbytes < 0:
+            raise ValueError("negative offset or length in BlockDevice.read")
+        self._charge(offset, nbytes, write=False)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        return self.backing.read(offset, nbytes)
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0:
+            raise ValueError("negative offset in BlockDevice.write")
+        self._charge(offset, len(data), write=True)
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self.backing.write(offset, bytes(data))
+
+    def size(self) -> int:
+        return self.backing.size()
+
+    def close(self) -> None:
+        self.backing.close()

@@ -1,0 +1,32 @@
+"""Message envelope for the simulated interconnect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "ANY"]
+
+#: Wildcard for ``source``/``tag`` matching, like ``MPI.ANY_SOURCE``.
+ANY = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight or delivered message.
+
+    ``arrival`` is the virtual time at which the message becomes visible to
+    the destination; ``seq`` is a global monotone counter used for
+    deterministic tie-breaking and FIFO (non-overtaking) ordering.
+    """
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+    arrival: float
+    seq: int
+
+    def matches(self, source: int, tag: int) -> bool:
+        return (source == ANY or source == self.source) and (tag == ANY or tag == self.tag)

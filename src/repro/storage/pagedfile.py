@@ -1,0 +1,63 @@
+"""Page-addressed file over a :class:`BlockDevice`.
+
+All disk-based engines (B-tree, heap file, grDB level files) do their I/O in
+fixed-size pages through this class, so every byte they move is charged to
+the owning node's virtual clock by the device's cost model.
+"""
+
+from __future__ import annotations
+
+from ..simcluster.disk import BlockDevice
+from ..util.errors import StorageEngineError
+
+__all__ = ["PagedFile"]
+
+
+class PagedFile:
+    """Fixed-size-page random access file.
+
+    Pages are numbered from 0.  Reading past the allocated extent is an
+    error (engines must allocate first); writing exactly at the end grows
+    the file by one page.
+    """
+
+    def __init__(self, device: BlockDevice, page_size: int, base_offset: int = 0):
+        if page_size <= 0:
+            raise StorageEngineError(f"page_size must be positive, got {page_size}")
+        self.device = device
+        self.page_size = page_size
+        self.base_offset = base_offset
+        self._npages = 0
+        # Adopt pre-existing content (reopened file).
+        existing = max(0, device.size() - base_offset)
+        self._npages = existing // page_size
+
+    @property
+    def npages(self) -> int:
+        return self._npages
+
+    def allocate_page(self) -> int:
+        """Append a zeroed page; returns its page number."""
+        page_no = self._npages
+        self.write_page(page_no, b"\x00" * self.page_size)
+        return page_no
+
+    def read_page(self, page_no: int) -> bytes:
+        if not 0 <= page_no < self._npages:
+            raise StorageEngineError(
+                f"read of page {page_no} outside allocated extent ({self._npages} pages)"
+            )
+        return self.device.read(self.base_offset + page_no * self.page_size, self.page_size)
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        if len(data) != self.page_size:
+            raise StorageEngineError(
+                f"page write of {len(data)} bytes != page size {self.page_size}"
+            )
+        if not 0 <= page_no <= self._npages:
+            raise StorageEngineError(
+                f"write of page {page_no} would leave a hole ({self._npages} pages allocated)"
+            )
+        self.device.write(self.base_offset + page_no * self.page_size, data)
+        if page_no == self._npages:
+            self._npages += 1

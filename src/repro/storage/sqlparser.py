@@ -1,0 +1,350 @@
+"""Tokenizer, AST and recursive-descent parser for MiniSQL.
+
+MiniSQL implements the slice of SQL the paper's MySQL GraphDB backend needs
+(prepared statements over one table of BLOB chunks) plus enough generality
+to be a believable relational engine: CREATE TABLE / CREATE INDEX, INSERT,
+SELECT with conjunctive comparisons and ORDER BY, UPDATE, DELETE, and ``?``
+parameter binding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..util.errors import SqlError
+
+__all__ = [
+    "parse",
+    "CreateTable",
+    "CreateIndex",
+    "Insert",
+    "Select",
+    "Update",
+    "Delete",
+    "Condition",
+    "Literal",
+    "Param",
+    "ColumnDef",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),;*?])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "CREATE", "TABLE", "INDEX", "ON", "INSERT", "INTO", "VALUES", "SELECT",
+    "FROM", "WHERE", "AND", "UPDATE", "SET", "DELETE", "ORDER", "BY", "ASC",
+    "DESC", "COUNT", "LIMIT",
+}
+
+# MySQL-style type names: INT/INTEGER are 32-bit, BIGINT is 64-bit.
+_TYPES = {
+    "INT": "INT32",
+    "INTEGER": "INT32",
+    "SMALLINT": "INT32",
+    "INT32": "INT32",
+    "BIGINT": "INT64",
+    "INT64": "INT64",
+    "BLOB": "BLOB",
+    "TEXT": "TEXT",
+    "VARCHAR": "TEXT",
+}
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Param:
+    index: int
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    op: str  # one of = < > <= >= !=
+    value: Literal | Param
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type: str  # INT64 | INT32 | BLOB | TEXT
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    table: str
+    columns: tuple[str, ...]
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    values: tuple[Literal | Param, ...]
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: tuple[str, ...]  # ("*",) for all; ("COUNT(*)",) for count
+    where: tuple[Condition, ...] = ()
+    order_by: tuple[tuple[str, bool], ...] = ()  # (column, ascending)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Literal | Param], ...]
+    where: tuple[Condition, ...] = ()
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: tuple[Condition, ...] = ()
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(sql):
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            rest = sql[pos:].strip()
+            if not rest:
+                break
+            raise SqlError(f"cannot tokenize SQL near {rest[:30]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        text = m.group(kind)
+        if kind == "ident":
+            upper = text.upper()
+            if upper in _KEYWORDS:
+                tokens.append(("kw", upper))
+            else:
+                tokens.append(("ident", text))
+        elif kind == "number":
+            tokens.append(("number", text))
+        elif kind == "string":
+            tokens.append(("string", text[1:-1].replace("''", "'")))
+        else:
+            tokens.append((kind, text))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        tok = self._peek()
+        if tok is None:
+            raise SqlError(f"unexpected end of statement: {self.sql!r}")
+        self.pos += 1
+        return tok
+
+    def _expect(self, kind: str, text: str | None = None) -> str:
+        tok = self._next()
+        if tok[0] != kind or (text is not None and tok[1] != text):
+            raise SqlError(f"expected {text or kind}, got {tok[1]!r} in {self.sql!r}")
+        return tok[1]
+
+    def _accept(self, kind: str, text: str | None = None) -> bool:
+        tok = self._peek()
+        if tok is not None and tok[0] == kind and (text is None or tok[1] == text):
+            self.pos += 1
+            return True
+        return False
+
+    def _ident(self) -> str:
+        tok = self._next()
+        if tok[0] != "ident":
+            raise SqlError(f"expected identifier, got {tok[1]!r}")
+        return tok[1]
+
+    def _value(self) -> Literal | Param:
+        tok = self._next()
+        if tok == ("punct", "?"):
+            p = Param(self.param_count)
+            self.param_count += 1
+            return p
+        if tok[0] == "number":
+            return Literal(int(tok[1]))
+        if tok[0] == "string":
+            return Literal(tok[1])
+        raise SqlError(f"expected a value or '?', got {tok[1]!r}")
+
+    # -- statements ---------------------------------------------------------
+
+    def parse(self):
+        tok = self._next()
+        if tok == ("kw", "CREATE"):
+            nxt = self._next()
+            if nxt == ("kw", "TABLE"):
+                stmt = self._create_table()
+            elif nxt == ("kw", "INDEX"):
+                stmt = self._create_index()
+            else:
+                raise SqlError(f"CREATE {nxt[1]} not supported")
+        elif tok == ("kw", "INSERT"):
+            stmt = self._insert()
+        elif tok == ("kw", "SELECT"):
+            stmt = self._select()
+        elif tok == ("kw", "UPDATE"):
+            stmt = self._update()
+        elif tok == ("kw", "DELETE"):
+            stmt = self._delete()
+        else:
+            raise SqlError(f"unsupported statement starting with {tok[1]!r}")
+        self._accept("punct", ";")
+        if self._peek() is not None:
+            raise SqlError(f"trailing tokens after statement: {self.tokens[self.pos:]!r}")
+        return stmt
+
+    def _create_table(self) -> CreateTable:
+        table = self._ident()
+        self._expect("punct", "(")
+        cols = []
+        while True:
+            name = self._ident()
+            type_tok = self._next()
+            if type_tok[0] != "ident" or type_tok[1].upper() not in _TYPES:
+                raise SqlError(f"unknown column type {type_tok[1]!r}")
+            cols.append(ColumnDef(name, _TYPES[type_tok[1].upper()]))
+            # Swallow an optional length suffix like VARCHAR(255).
+            if self._accept("punct", "("):
+                self._expect("number")
+                self._expect("punct", ")")
+            if self._accept("punct", ")"):
+                break
+            self._expect("punct", ",")
+        return CreateTable(table, tuple(cols))
+
+    def _create_index(self) -> CreateIndex:
+        name = None
+        tok = self._peek()
+        if tok is not None and tok[0] == "ident":
+            name = self._ident()
+        self._expect("kw", "ON")
+        table = self._ident()
+        self._expect("punct", "(")
+        cols = [self._ident()]
+        while self._accept("punct", ","):
+            cols.append(self._ident())
+        self._expect("punct", ")")
+        return CreateIndex(table, tuple(cols), name)
+
+    def _insert(self) -> Insert:
+        self._expect("kw", "INTO")
+        table = self._ident()
+        self._expect("kw", "VALUES")
+        self._expect("punct", "(")
+        values = [self._value()]
+        while self._accept("punct", ","):
+            values.append(self._value())
+        self._expect("punct", ")")
+        return Insert(table, tuple(values))
+
+    def _select(self) -> Select:
+        columns: list[str] = []
+        if self._accept("punct", "*"):
+            columns = ["*"]
+        elif self._accept("kw", "COUNT"):
+            self._expect("punct", "(")
+            self._expect("punct", "*")
+            self._expect("punct", ")")
+            columns = ["COUNT(*)"]
+        else:
+            columns.append(self._ident())
+            while self._accept("punct", ","):
+                columns.append(self._ident())
+        self._expect("kw", "FROM")
+        table = self._ident()
+        where = self._where()
+        order = []
+        if self._accept("kw", "ORDER"):
+            self._expect("kw", "BY")
+            while True:
+                col = self._ident()
+                asc = True
+                if self._accept("kw", "DESC"):
+                    asc = False
+                else:
+                    self._accept("kw", "ASC")
+                order.append((col, asc))
+                if not self._accept("punct", ","):
+                    break
+        limit = None
+        if self._accept("kw", "LIMIT"):
+            limit = int(self._expect("number"))
+            if limit < 0:
+                raise SqlError(f"negative LIMIT {limit}")
+        return Select(table, tuple(columns), where, tuple(order), limit)
+
+    def _update(self) -> Update:
+        table = self._ident()
+        self._expect("kw", "SET")
+        assignments = []
+        while True:
+            col = self._ident()
+            self._expect("op", "=")
+            assignments.append((col, self._value()))
+            if not self._accept("punct", ","):
+                break
+        return Update(table, tuple(assignments), self._where())
+
+    def _delete(self) -> Delete:
+        self._expect("kw", "FROM")
+        table = self._ident()
+        return Delete(table, self._where())
+
+    def _where(self) -> tuple[Condition, ...]:
+        if not self._accept("kw", "WHERE"):
+            return ()
+        conds = [self._condition()]
+        while self._accept("kw", "AND"):
+            conds.append(self._condition())
+        return tuple(conds)
+
+    def _condition(self) -> Condition:
+        col = self._ident()
+        tok = self._next()
+        if tok[0] != "op":
+            raise SqlError(f"expected comparison operator, got {tok[1]!r}")
+        op = "!=" if tok[1] == "<>" else tok[1]
+        return Condition(col, op, self._value())
+
+
+def parse(sql: str):
+    """Parse one SQL statement into its AST node."""
+    return _Parser(sql).parse()

@@ -1,0 +1,36 @@
+"""Shared utilities: errors, growable long arrays, bitsets, size estimation."""
+
+from .bitset import Bitset
+from .errors import (
+    CommError,
+    ConfigError,
+    DeadlockError,
+    GraphStorageException,
+    KeyNotFound,
+    OntologyError,
+    PageFormatError,
+    ReproError,
+    SimulationError,
+    SqlError,
+    StorageEngineError,
+)
+from .longarray import LongArray
+from .sizes import HEADER_BYTES, payload_nbytes
+
+__all__ = [
+    "Bitset",
+    "CommError",
+    "ConfigError",
+    "DeadlockError",
+    "GraphStorageException",
+    "HEADER_BYTES",
+    "KeyNotFound",
+    "LongArray",
+    "OntologyError",
+    "PageFormatError",
+    "ReproError",
+    "SimulationError",
+    "SqlError",
+    "StorageEngineError",
+    "payload_nbytes",
+]

@@ -1,0 +1,78 @@
+"""Dense bitset over 64-bit words, vectorized with numpy.
+
+Used by the BFS visited structures and by grDB's sub-block allocation maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Bitset"]
+
+
+class Bitset:
+    """Fixed-capacity dense bitset with vectorized batch operations."""
+
+    __slots__ = ("_words", "_nbits")
+
+    def __init__(self, nbits: int):
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        self._nbits = int(nbits)
+        self._words = np.zeros((self._nbits + 63) // 64, dtype=np.uint64)
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    def _check(self, idx: int) -> int:
+        idx = int(idx)
+        if not 0 <= idx < self._nbits:
+            raise IndexError(f"bit {idx} out of range for Bitset of size {self._nbits}")
+        return idx
+
+    def set(self, idx: int) -> None:
+        idx = self._check(idx)
+        self._words[idx >> 6] |= np.uint64(1 << (idx & 63))
+
+    def clear(self, idx: int) -> None:
+        idx = self._check(idx)
+        self._words[idx >> 6] &= ~np.uint64(1 << (idx & 63))
+
+    def get(self, idx: int) -> bool:
+        idx = self._check(idx)
+        return bool((self._words[idx >> 6] >> np.uint64(idx & 63)) & np.uint64(1))
+
+    __getitem__ = get
+
+    def set_many(self, idxs) -> None:
+        idxs = np.asarray(idxs, dtype=np.int64)
+        if idxs.size == 0:
+            return
+        if idxs.min() < 0 or idxs.max() >= self._nbits:
+            raise IndexError("bit index out of range in set_many")
+        np.bitwise_or.at(
+            self._words,
+            idxs >> 6,
+            np.uint64(1) << (idxs & 63).astype(np.uint64),
+        )
+
+    def get_many(self, idxs) -> np.ndarray:
+        """Boolean array: bit value for each index in ``idxs``."""
+        idxs = np.asarray(idxs, dtype=np.int64)
+        if idxs.size == 0:
+            return np.zeros(0, dtype=bool)
+        if idxs.min() < 0 or idxs.max() >= self._nbits:
+            raise IndexError("bit index out of range in get_many")
+        return (self._words[idxs >> 6] >> (idxs & 63).astype(np.uint64)) & np.uint64(1) != 0
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return int(np.unpackbits(self._words.view(np.uint8)).sum())
+
+    def clear_all(self) -> None:
+        self._words[:] = 0
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted array of all set bit positions."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return np.nonzero(bits[: self._nbits])[0].astype(np.int64)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the MSSG reproduction.
+
+The paper's ``GraphDB`` interface (Listing 3.1) throws a single checked
+``GraphStorageException``; we keep that name and add a few siblings so that
+callers can distinguish storage faults from simulation and configuration
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GraphStorageException(ReproError):
+    """A GraphDB backend failed to store or retrieve graph data.
+
+    Mirrors the checked exception in the paper's Java ``Graph`` interface.
+    """
+
+
+class StorageEngineError(ReproError):
+    """A low-level storage engine (paged file, B-tree, MiniSQL) failed."""
+
+
+class PageFormatError(StorageEngineError):
+    """An on-disk page failed validation (bad magic, corrupt layout)."""
+
+
+class KeyNotFound(StorageEngineError):
+    """A key lookup in an index or key-value store found nothing."""
+
+
+class SqlError(StorageEngineError):
+    """MiniSQL statement failed to parse, bind, or execute."""
+
+
+class SimulationError(ReproError):
+    """The simulated cluster reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """Every rank is blocked and no message can unblock any of them."""
+
+
+class CommError(SimulationError):
+    """Invalid use of the communicator (bad rank, tag, or payload)."""
+
+
+class OntologyError(ReproError):
+    """A semantic graph violates its ontology, or the ontology is invalid."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment, cluster, or database configuration."""

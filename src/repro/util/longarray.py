@@ -1,0 +1,107 @@
+"""Growable array of 64-bit integers.
+
+The paper's prototype passes adjacency lists around in a Java helper class
+called ``FastLongArrayStorage`` (see Listing 3.1); this is the numpy-backed
+equivalent.  It amortizes growth doubling like ``ArrayList`` and exposes the
+underlying buffer as a numpy view so hot paths (frontier expansion, metadata
+filtering) stay vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["LongArray"]
+
+_MIN_CAPACITY = 8
+
+
+class LongArray:
+    """A growable ``int64`` array used to collect adjacency lists.
+
+    Supports amortized O(1) ``append`` / ``extend``, O(1) ``clear`` and a
+    zero-copy :meth:`view` of the live prefix.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, initial: Iterable[int] | None = None, capacity: int = _MIN_CAPACITY):
+        capacity = max(int(capacity), _MIN_CAPACITY)
+        self._buf = np.empty(capacity, dtype=np.int64)
+        self._n = 0
+        if initial is not None:
+            self.extend(initial)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.view())
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return self.view()[idx]
+        n = self._n
+        if idx < 0:
+            idx += n
+        if not 0 <= idx < n:
+            raise IndexError(f"index {idx} out of range for LongArray of length {n}")
+        return int(self._buf[idx])
+
+    def __repr__(self) -> str:
+        return f"LongArray({self.view().tolist()!r})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LongArray):
+            return bool(np.array_equal(self.view(), other.view()))
+        if isinstance(other, (list, tuple)):
+            return self.view().tolist() == list(other)
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - mutable container
+        raise TypeError("LongArray is unhashable")
+
+    @property
+    def capacity(self) -> int:
+        return len(self._buf)
+
+    def _reserve(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= len(self._buf):
+            return
+        cap = max(len(self._buf) * 2, need, _MIN_CAPACITY)
+        buf = np.empty(cap, dtype=np.int64)
+        buf[: self._n] = self._buf[: self._n]
+        self._buf = buf
+
+    def append(self, value: int) -> None:
+        self._reserve(1)
+        self._buf[self._n] = value
+        self._n += 1
+
+    def extend(self, values) -> None:
+        arr = np.asarray(values, dtype=np.int64) if not isinstance(values, LongArray) else values.view()
+        if arr.ndim != 1:
+            raise ValueError("LongArray.extend expects a 1-D sequence")
+        self._reserve(len(arr))
+        self._buf[self._n : self._n + len(arr)] = arr
+        self._n += len(arr)
+
+    def clear(self) -> None:
+        self._n = 0
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the live elements. Invalidated by growth."""
+        return self._buf[: self._n]
+
+    def to_numpy(self) -> np.ndarray:
+        """A copy of the live elements, safe to keep across mutations."""
+        return self.view().copy()
+
+    def tolist(self) -> list[int]:
+        return self.view().tolist()
+
+    def sort(self) -> None:
+        self._buf[: self._n].sort()

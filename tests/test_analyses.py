@@ -1,0 +1,141 @@
+"""Tests for the extension analyses: connected components and typed BFS."""
+
+import numpy as np
+import pytest
+
+from repro import MSSG, MSSGConfig
+from repro.graphgen import dedupe_edges, preferential_attachment, pubmed_semantic_graph
+
+
+def two_component_edges():
+    """Two disjoint scale-free blobs plus an isolated pair."""
+    a = dedupe_edges(preferential_attachment(60, 2, seed=1))
+    b = dedupe_edges(preferential_attachment(40, 2, seed=2)) + 100
+    c = np.array([[200, 201]])
+    return np.vstack([a, b, c])
+
+
+class TestComponents:
+    @pytest.mark.parametrize("decluster", ["vertex-rr", "edge-rr"])
+    def test_counts_components(self, decluster):
+        edges = two_component_edges()
+        with MSSG(
+            MSSGConfig(num_backends=3, backend="HashMap", declustering=decluster)
+        ) as mssg:
+            mssg.ingest(edges)
+            report = mssg.query("components")
+            assert report.result["num_components"] == 3
+            assert sum(report.result["sizes"]) == len(
+                np.unique(edges)
+            )
+            assert report.result["sizes"][-1] == 2  # the isolated pair
+
+    def test_labels_are_component_minima(self):
+        edges = two_component_edges()
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            labels = mssg.query("components").result["labels"]
+            # Every member of the second blob carries its minimum id (100).
+            assert labels[200] == 200 and labels[201] == 200
+            blob_b = {v: lab for v, lab in labels.items() if 100 <= v < 200}
+            assert blob_b and all(lab == 100 for lab in blob_b.values())
+
+    def test_single_component_graph(self):
+        edges = dedupe_edges(preferential_attachment(80, 2, seed=5))
+        with MSSG(MSSGConfig(num_backends=4, backend="grDB")) as mssg:
+            mssg.ingest(edges)
+            report = mssg.query("components")
+            assert report.result["num_components"] == 1
+            assert report.levels >= 1
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        rng = np.random.default_rng(7)
+        edges = dedupe_edges(
+            np.column_stack([rng.integers(0, 120, 150), rng.integers(0, 120, 150)])
+        )
+        g = nx.Graph()
+        g.add_edges_from(map(tuple, edges.tolist()))
+        expected = nx.number_connected_components(g)
+        with MSSG(MSSGConfig(num_backends=3, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            assert mssg.query("components").result["num_components"] == expected
+
+
+class TestTypedBFS:
+    def build(self):
+        """Star of Articles around a Journal hub, plus a direct cite path.
+
+        Path A: 0 -cites- 1 -cites- 2            (all Articles)
+        Path B: 0 -published_in- 9 (Journal) -published_in- 2
+        Types:  0,1,2 = Article(code 0), 9 = Journal(code 1)
+        """
+        edges = np.array([[0, 1], [1, 2], [0, 9], [9, 2]])
+        mssg = MSSG(MSSGConfig(num_backends=2, backend="HashMap"))
+        mssg.ingest(edges)
+        types = {0: 0, 1: 0, 2: 0, 9: 1}
+        assert mssg.query("load-vertex-types", type_codes=types).result == 4
+        return mssg
+
+    def test_unrestricted_uses_hub_shortcut(self):
+        mssg = self.build()
+        try:
+            # Plain BFS may go through the Journal: distance 2 either way.
+            assert mssg.query_bfs(0, 2).result == 2
+            # Typed BFS allowing both codes agrees.
+            assert mssg.query("typed-bfs", source=0, dest=2, allowed_codes=[0, 1]).result == 2
+        finally:
+            mssg.close()
+
+    def test_restricting_types_changes_paths(self):
+        mssg = self.build()
+        try:
+            # Only Article-typed vertices may be traversed: the citation
+            # path 0-1-2 still works (distance 2)...
+            assert mssg.query("typed-bfs", source=0, dest=2, allowed_codes=[0]).result == 2
+            # ...but Articles are unreachable through a Journals-only lens.
+            assert mssg.query("typed-bfs", source=0, dest=2, allowed_codes=[1]).result is None
+        finally:
+            mssg.close()
+
+    def test_longer_detour_when_direct_type_excluded(self):
+        # 0 -a- 5(typeX) -a- 9 ; 0 -b- 1 -b- 2 -b- 9 with allowed only type b.
+        edges = np.array([[0, 5], [5, 9], [0, 1], [1, 2], [2, 9]])
+        types = {0: 2, 5: 7, 9: 2, 1: 2, 2: 2}
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            mssg.query("load-vertex-types", type_codes=types)
+            assert mssg.query("typed-bfs", source=0, dest=9, allowed_codes=[2, 7]).result == 2
+            assert mssg.query("typed-bfs", source=0, dest=9, allowed_codes=[2]).result == 3
+
+    def test_on_generated_semantic_graph(self):
+        g = pubmed_semantic_graph(num_articles=60, num_authors=25, seed=4)
+        code_of = {"Article": 0, "Author": 1, "Journal": 2, "MeSHTerm": 3, "Date": 4}
+        types = {gid: code_of[t] for gid, t in g.vertices()}
+        with MSSG(MSSGConfig(num_backends=3, backend="grDB")) as mssg:
+            mssg.ingest(g.edge_list())
+            mssg.query("load-vertex-types", type_codes=types)
+            unrestricted = mssg.query(
+                "typed-bfs", source=0, dest=30, allowed_codes=list(code_of.values())
+            ).result
+            assert unrestricted == mssg.query_bfs(0, 30).result
+            articles_only = mssg.query(
+                "typed-bfs", source=0, dest=30, allowed_codes=[0]
+            ).result
+            # Constraining the lens can only lengthen (or sever) paths.
+            assert articles_only is None or articles_only >= unrestricted
+
+
+class TestLocalVertices:
+    @pytest.mark.parametrize(
+        "backend", ["Array", "HashMap", "MySQL", "BerkeleyDB", "StreamDB", "grDB"]
+    )
+    def test_enumeration_matches_stored(self, backend):
+        from repro.graphdb import make_graphdb
+        from repro.simcluster import NodeSpec, SimNode
+
+        node = SimNode(0, NodeSpec())
+        db = make_graphdb(backend, node)
+        db.store_edges([(3, 1), (7, 2), (3, 9), (100, 4)])
+        db.finalize_ingest()
+        assert db.local_vertices().tolist() == [3, 7, 100]

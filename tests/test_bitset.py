@@ -1,0 +1,95 @@
+"""Unit and property tests for repro.util.bitset."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import Bitset
+
+
+def test_set_get_clear():
+    b = Bitset(130)
+    assert not b.get(0)
+    b.set(0)
+    b.set(64)
+    b.set(129)
+    assert b.get(0) and b.get(64) and b.get(129)
+    assert not b.get(1)
+    b.clear(64)
+    assert not b.get(64)
+
+
+def test_bounds():
+    b = Bitset(10)
+    with pytest.raises(IndexError):
+        b.set(10)
+    with pytest.raises(IndexError):
+        b.get(-1)
+    with pytest.raises(ValueError):
+        Bitset(-1)
+
+
+def test_set_many_and_get_many():
+    b = Bitset(1000)
+    idxs = np.array([0, 63, 64, 65, 500, 999])
+    b.set_many(idxs)
+    assert b.get_many(idxs).all()
+    assert not b.get_many([1, 2, 66]).any()
+    assert b.count() == len(idxs)
+
+
+def test_set_many_duplicate_indices():
+    b = Bitset(100)
+    b.set_many([5, 5, 5, 6])
+    assert b.count() == 2
+
+
+def test_set_many_empty():
+    b = Bitset(10)
+    b.set_many([])
+    assert b.count() == 0
+    assert b.get_many([]).shape == (0,)
+
+
+def test_set_many_bounds():
+    b = Bitset(10)
+    with pytest.raises(IndexError):
+        b.set_many([3, 11])
+
+
+def test_to_indices_and_clear_all():
+    b = Bitset(200)
+    b.set_many([3, 100, 199])
+    assert b.to_indices().tolist() == [3, 100, 199]
+    b.clear_all()
+    assert b.count() == 0
+
+
+def test_zero_size():
+    b = Bitset(0)
+    assert len(b) == 0
+    assert b.count() == 0
+
+
+@given(st.sets(st.integers(min_value=0, max_value=499)))
+def test_matches_python_set(idxs):
+    b = Bitset(500)
+    for i in idxs:
+        b.set(i)
+    assert b.count() == len(idxs)
+    assert set(b.to_indices().tolist()) == idxs
+    mask = b.get_many(np.arange(500))
+    assert set(np.nonzero(mask)[0].tolist()) == idxs
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=299)),
+    st.sets(st.integers(min_value=0, max_value=299)),
+)
+def test_set_then_clear(to_set, to_clear):
+    b = Bitset(300)
+    b.set_many(sorted(to_set))
+    for i in to_clear:
+        b.clear(i)
+    assert set(b.to_indices().tolist()) == to_set - to_clear

@@ -1,0 +1,30 @@
+"""The cost-model constants must stay inside their paper-anchored bands."""
+
+from repro.experiments.calibration import calibration_points, verify_calibration
+from repro.simcluster import CpuProfile, DiskProfile
+
+
+def test_all_calibration_points_hold():
+    failures = verify_calibration()
+    assert not failures, "\n".join(
+        f"{p.name}: modeled {p.modeled:.4g} outside [{p.low:.4g}, {p.high:.4g}] "
+        f"(anchor: {p.anchor})"
+        for p in failures
+    )
+
+
+def test_points_carry_anchors():
+    for p in calibration_points():
+        assert p.anchor
+        assert p.low < p.high
+
+
+def test_detects_drift():
+    """A deliberately broken profile trips the verifier."""
+    silly = CpuProfile(edge_visit_seconds=1.0)  # 1 second per edge
+    failures = verify_calibration(cpu=silly)
+    assert any(p.name == "array-edge-rate-per-node" for p in failures)
+
+    slow_disk = DiskProfile(seek_seconds=1.0)
+    failures = verify_calibration(disk=slow_disk)
+    assert any(p.name == "disk-seek" for p in failures)

@@ -1,0 +1,208 @@
+"""Tests for the DataCutter-style filter/stream middleware."""
+
+import numpy as np
+import pytest
+
+from repro.datacutter import (
+    DataCutterRuntime,
+    END_OF_STREAM,
+    Filter,
+    FilterGraph,
+)
+from repro.simcluster import SimCluster
+from repro.util import ConfigError
+
+
+class Source(Filter):
+    outputs = ("out",)
+
+    def __init__(self, items=None):
+        self.items = items if items is not None else list(range(10))
+
+    def process(self, ctx):
+        for item in self.items:
+            ctx.write("out", item)
+        ctx.close_output("out")
+
+
+class Doubler(Filter):
+    inputs = ("in",)
+    outputs = ("out",)
+
+    def process(self, ctx):
+        while True:
+            item = yield from ctx.read("in")
+            if item is END_OF_STREAM:
+                break
+            ctx.compute(1e-6)
+            ctx.write("out", item * 2)
+        ctx.close_output("out")
+
+
+class Collector(Filter):
+    inputs = ("in",)
+
+    def process(self, ctx):
+        got = []
+        while True:
+            item = yield from ctx.read("in")
+            if item is END_OF_STREAM:
+                return got
+            got.append(item)
+
+
+def build_pipeline(nranks=3, items=None):
+    g = FilterGraph()
+    g.add_filter("src", lambda: Source(items), placement=[0])
+    g.add_filter("double", Doubler, placement=[1])
+    g.add_filter("sink", Collector, placement=[2])
+    g.connect("src", "out", "double", "in")
+    g.connect("double", "out", "sink", "in")
+    return g
+
+
+class TestPipeline:
+    def test_three_stage_pipeline(self):
+        cluster = SimCluster(nranks=3)
+        results = DataCutterRuntime(build_pipeline(), cluster).run()
+        assert results["sink"][0] == [i * 2 for i in range(10)]
+        assert results["src"] == [None]
+
+    def test_virtual_time_advances(self):
+        cluster = SimCluster(nranks=3)
+        DataCutterRuntime(build_pipeline(), cluster).run()
+        assert cluster.makespan > 0
+
+    def test_empty_source(self):
+        cluster = SimCluster(nranks=3)
+        results = DataCutterRuntime(build_pipeline(items=[]), cluster).run()
+        assert results["sink"][0] == []
+
+
+class TestDistributionPolicies:
+    def run_fanout(self, policy, key_fn=None, copies=3, items=12):
+        g = FilterGraph()
+        g.add_filter("src", lambda: Source(list(range(items))), placement=[0])
+        g.add_filter("sink", Collector, placement=list(range(1, 1 + copies)))
+        g.connect("src", "out", "sink", "in", policy=policy, key_fn=key_fn)
+        cluster = SimCluster(nranks=1 + copies)
+        return DataCutterRuntime(g, cluster).run()["sink"]
+
+    def test_round_robin_balances(self):
+        parts = self.run_fanout("round_robin")
+        assert [len(p) for p in parts] == [4, 4, 4]
+        assert sorted(sum(parts, [])) == list(range(12))
+
+    def test_broadcast_duplicates(self):
+        parts = self.run_fanout("broadcast")
+        for p in parts:
+            assert p == list(range(12))
+
+    def test_keyed_routes_by_owner(self):
+        parts = self.run_fanout("keyed", key_fn=lambda item: item)
+        for copy, part in enumerate(parts):
+            assert all(item % 3 == copy for item in part)
+
+    def test_multiple_producers_eos(self):
+        """Consumer sees END only after all producer copies close."""
+        g = FilterGraph()
+        g.add_filter("src", lambda: Source(list(range(5))), placement=[0, 1])
+        g.add_filter("sink", Collector, placement=[2])
+        g.connect("src", "out", "sink", "in")
+        cluster = SimCluster(nranks=3)
+        results = DataCutterRuntime(g, cluster).run()
+        assert sorted(results["sink"][0]) == sorted(list(range(5)) * 2)
+
+
+class TestCoLocation:
+    """Task parallelism: multiple filter copies share a rank."""
+
+    def test_whole_pipeline_on_one_rank(self):
+        g = FilterGraph()
+        g.add_filter("src", lambda: Source(list(range(8))), placement=[0])
+        g.add_filter("double", Doubler, placement=[0])
+        g.add_filter("sink", Collector, placement=[0])
+        g.connect("src", "out", "double", "in")
+        g.connect("double", "out", "sink", "in")
+        results = DataCutterRuntime(g, SimCluster(nranks=1)).run()
+        assert results["sink"][0] == [i * 2 for i in range(8)]
+
+    def test_mixed_local_and_remote_stages(self):
+        g = FilterGraph()
+        g.add_filter("src", lambda: Source(list(range(10))), placement=[0])
+        g.add_filter("double", Doubler, placement=[0])  # co-located with src
+        g.add_filter("sink", Collector, placement=[1])
+        g.connect("src", "out", "double", "in")
+        g.connect("double", "out", "sink", "in")
+        results = DataCutterRuntime(g, SimCluster(nranks=2)).run()
+        assert results["sink"][0] == [i * 2 for i in range(10)]
+
+    def test_two_independent_pipelines_share_ranks(self):
+        g = FilterGraph()
+        g.add_filter("srcA", lambda: Source([1, 2, 3]), placement=[0])
+        g.add_filter("srcB", lambda: Source([10, 20]), placement=[0])
+        g.add_filter("sinkA", Collector, placement=[1])
+        g.add_filter("sinkB", Collector, placement=[1])
+        g.connect("srcA", "out", "sinkA", "in")
+        g.connect("srcB", "out", "sinkB", "in")
+        results = DataCutterRuntime(g, SimCluster(nranks=2)).run()
+        assert results["sinkA"][0] == [1, 2, 3]
+        assert results["sinkB"][0] == [10, 20]
+
+    def test_fan_in_to_colocated_consumers(self):
+        g = FilterGraph()
+        g.add_filter("src", lambda: Source(list(range(9))), placement=[0, 1])
+        g.add_filter("sink", Collector, placement=[2, 2, 2])
+        g.connect("src", "out", "sink", "in", policy="round_robin")
+        results = DataCutterRuntime(g, SimCluster(nranks=3)).run()
+        items = sorted(sum(results["sink"], []))
+        assert items == sorted(list(range(9)) * 2)
+
+
+class TestValidation:
+    def test_duplicate_filter_name(self):
+        g = FilterGraph()
+        g.add_filter("a", Source, [0])
+        with pytest.raises(ConfigError):
+            g.add_filter("a", Source, [1])
+
+    def test_unknown_filter_in_stream(self):
+        g = FilterGraph()
+        g.add_filter("a", Source, [0])
+        with pytest.raises(ConfigError):
+            g.connect("a", "out", "missing", "in")
+
+    def test_keyed_requires_key_fn(self):
+        g = FilterGraph()
+        g.add_filter("a", Source, [0])
+        g.add_filter("b", Collector, [1])
+        with pytest.raises(ConfigError):
+            g.connect("a", "out", "b", "in", policy="keyed")
+
+    def test_placement_out_of_range(self):
+        g = FilterGraph()
+        g.add_filter("a", Source, [5])
+        with pytest.raises(ConfigError):
+            DataCutterRuntime(g, SimCluster(nranks=2))
+
+    def test_port_declaration_checked(self):
+        g = FilterGraph()
+        g.add_filter("a", Source, [0])
+        g.add_filter("b", Collector, [1])
+        with pytest.raises(ConfigError):
+            g.connect("a", "bogus_port", "b", "in")
+            DataCutterRuntime(g, SimCluster(nranks=2))
+
+    def test_double_feed_port_rejected(self):
+        g = FilterGraph()
+        g.add_filter("a", Source, [0])
+        g.add_filter("b", Source, [1])
+        g.add_filter("c", Collector, [2])
+        g.connect("a", "out", "c", "in")
+        with pytest.raises(ConfigError):
+            g.connect("b", "out", "c", "in")
+
+    def test_empty_placement(self):
+        g = FilterGraph()
+        with pytest.raises(ConfigError):
+            g.add_filter("a", Source, [])

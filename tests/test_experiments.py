@@ -1,0 +1,128 @@
+"""Smoke/shape tests for the experiment harness at tiny scale.
+
+Benchmarks run the figures at full benchmark scale; these tests exercise
+the same code paths quickly (scale ~0.1) and assert structural sanity so
+the harness itself is covered by ``pytest tests/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PUBMED_L,
+    PUBMED_S,
+    SYN_2B,
+    WORKLOADS,
+    Deployment,
+    load_edges,
+    run_ingest_experiment,
+    run_search_experiment,
+    scaled_grdb_format,
+    table_5_1,
+)
+from repro.experiments.harness import default_cache_blocks, queries_for
+from repro.experiments.report import format_rows, format_series_table
+from repro.experiments.workloads import workload_stats
+
+SCALE = 0.12
+
+
+class TestWorkloads:
+    def test_load_edges_memoized_and_cached(self):
+        a = load_edges(PUBMED_S, SCALE)
+        b = load_edges(PUBMED_S, SCALE)
+        assert a is b  # in-process memo
+
+    def test_all_workloads_generate(self):
+        for w in WORKLOADS.values():
+            edges = load_edges(w, SCALE)
+            assert len(edges) > 100
+            stats = workload_stats(w, SCALE)
+            assert stats.min_degree >= 1
+
+    def test_scaling_grows_graphs(self):
+        small = load_edges(PUBMED_S, 0.1)
+        large = load_edges(PUBMED_S, 0.3)
+        assert len(large) > len(small)
+
+    def test_table_5_1(self):
+        stats, text = table_5_1(scale=SCALE)
+        assert len(stats) == 3
+        assert "PubMed-S" in text
+
+
+class TestHarness:
+    def test_default_cache_blocks(self):
+        assert default_cache_blocks("grDB", 64 << 10) == 128
+        assert default_cache_blocks("BerkeleyDB", 64 << 10) == 16
+        assert default_cache_blocks("Array") == 0
+
+    def test_scaled_grdb_format_valid(self):
+        fmt = scaled_grdb_format()
+        assert fmt.capacities == (2, 4, 16, 256, 4096, 16384)
+
+    def test_queries_are_valid_and_memoized(self):
+        q1 = queries_for(PUBMED_S, SCALE, 4, seed=1)
+        q2 = queries_for(PUBMED_S, SCALE, 4, seed=1)
+        assert q1 is q2
+        assert all(dist >= 1 for _, _, dist in q1)
+
+    def test_ingest_experiment(self):
+        res = run_ingest_experiment(
+            PUBMED_S, Deployment(backend="HashMap", num_backends=2), scale=SCALE
+        )
+        assert res.seconds > 0
+        assert res.edges == len(load_edges(PUBMED_S, SCALE))
+        assert res.edges_per_second > 0
+
+    @pytest.mark.parametrize("backend", ["HashMap", "grDB"])
+    def test_search_experiment(self, backend):
+        res = run_search_experiment(
+            PUBMED_S,
+            Deployment(backend=backend, num_backends=2),
+            scale=SCALE,
+            num_queries=3,
+            warmup_queries=1,
+        )
+        assert res.num_queries == 3
+        assert res.seconds_by_distance
+        assert res.total_edges_scanned > 0
+        assert res.aggregate_eps > 0
+        assert set(res.eps_by_distance) == set(res.seconds_by_distance)
+
+    def test_search_experiment_reuses_prebuilt_mssg(self):
+        from repro.experiments.harness import build_and_ingest
+
+        dep = Deployment(backend="HashMap", num_backends=2)
+        mssg, _, _ = build_and_ingest(PUBMED_S, dep, SCALE)
+        try:
+            r1 = run_search_experiment(PUBMED_S, dep, scale=SCALE, num_queries=2, mssg=mssg)
+            r2 = run_search_experiment(PUBMED_S, dep, scale=SCALE, num_queries=2, mssg=mssg)
+            assert r1.num_queries == r2.num_queries == 2
+        finally:
+            mssg.close()
+
+    def test_cache_disabled_deployment(self):
+        res = run_search_experiment(
+            PUBMED_S,
+            Deployment(backend="grDB", num_backends=2, cache_enabled=False),
+            scale=SCALE,
+            num_queries=2,
+        )
+        assert res.mean_seconds > 0
+
+
+class TestReport:
+    def test_series_table_rendering(self):
+        text = format_series_table(
+            "A title", "x", {"s1": {1: 0.5, 2: 1.0}, "s2": {2: 2.0}}
+        )
+        assert "A title" in text
+        assert "s1" in text and "s2" in text
+        lines = text.splitlines()
+        row_1 = next(line for line in lines if line.startswith("1"))
+        assert row_1.rstrip().endswith("-")  # missing cell for s2 at x=1
+
+    def test_format_rows(self):
+        text = format_rows("T", "h1 h2", ["a b", "c d"])
+        assert text.count("\n") >= 4

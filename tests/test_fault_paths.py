@@ -1,0 +1,155 @@
+"""Failure-injection and error-propagation tests.
+
+A distributed storage framework is defined as much by how it fails as by
+how it succeeds: these tests corrupt on-disk state, raise inside rank
+programs and filters, and drive engines into their guard rails, asserting
+that every failure surfaces as the right exception instead of silent
+corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datacutter import DataCutterRuntime, Filter, FilterGraph
+from repro.simcluster import BlockDevice, MemoryBacking, NodeSpec, SimCluster, SimNode
+from repro.storage import BTree, KVStore, PagedFile
+from repro.util import (
+    GraphStorageException,
+    PageFormatError,
+    SimulationError,
+    StorageEngineError,
+)
+
+
+class TestRankFailures:
+    def test_exception_in_rank_program_propagates(self):
+        cluster = SimCluster(nranks=2)
+
+        def program(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("node 1 exploded")
+            yield from ctx.comm.barrier()
+
+        with pytest.raises(RuntimeError, match="node 1 exploded"):
+            cluster.run(program)
+
+    def test_invalid_yield_rejected(self):
+        cluster = SimCluster(nranks=1)
+
+        def program(ctx):
+            yield "not-an-effect"
+
+        with pytest.raises(SimulationError, match="invalid effect"):
+            cluster.run(program)
+
+    def test_exception_in_filter_propagates(self):
+        class Bomb(Filter):
+            outputs = ("out",)
+
+            def process(self, ctx):
+                raise ValueError("filter bomb")
+
+        class Sink(Filter):
+            inputs = ("in",)
+
+            def process(self, ctx):
+                yield from ctx.read("in")
+
+        g = FilterGraph()
+        g.add_filter("bomb", Bomb, [0])
+        g.add_filter("sink", Sink, [1])
+        g.connect("bomb", "out", "sink", "in")
+        with pytest.raises(ValueError, match="filter bomb"):
+            DataCutterRuntime(g, SimCluster(nranks=2)).run()
+
+
+class TestCorruptedStorage:
+    def test_btree_detects_bad_node_type(self):
+        dev = BlockDevice()
+        tree = BTree(PagedFile(dev, 256), cache_pages=0)
+        tree.put(b"k", b"v")
+        # Stomp the root page's type byte on disk.
+        root_offset = tree.root * 256
+        dev.write(root_offset, b"\x7f")
+        with pytest.raises(PageFormatError):
+            tree.get(b"k")
+
+    def test_btree_detects_bad_meta_magic(self):
+        dev = BlockDevice()
+        tree = BTree(PagedFile(dev, 256), cache_pages=0)
+        tree.put(b"k", b"v")
+        dev.write(0, b"\x00\x00\x00\x00")
+        with pytest.raises(PageFormatError):
+            BTree(PagedFile(dev, 256))
+
+    def test_btree_detects_truncated_overflow_chain(self):
+        dev = BlockDevice()
+        tree = BTree(PagedFile(dev, 256), cache_pages=0)
+        tree.put(b"big", b"x" * 1000)  # spills to overflow pages
+        # Zero a chunk-length field deep in the chain: lengths mismatch.
+        # Find an overflow page: scan pages for non-node types.
+        pf = tree.pages
+        for page_no in range(1, pf.npages):
+            raw = pf.read_page(page_no)
+            if raw[0] not in (0x4C, 0x49) and raw != b"\x00" * 256:
+                dev.write(page_no * 256 + 8, (0).to_bytes(4, "big"))
+                break
+        with pytest.raises(PageFormatError):
+            tree.get(b"big")
+
+    def test_grdb_rejects_cycle_in_chain(self):
+        from repro.graphdb import GrDB, GrDBFormat
+        from repro.graphdb.grdb.format import encode_pointer
+
+        fmt = GrDBFormat(capacities=(2, 4), block_sizes=(128, 128), max_file_bytes=1024)
+        node = SimNode(0, NodeSpec())
+        db = GrDB(node.disk, fmt=fmt, clock=node.clock)
+        db.store_edges([(0, 1), (0, 2), (0, 3)])  # chains into level 1
+        # Point the level-1 tail back at itself.
+        chain = db.chain_of(0)
+        level, sb = chain[-1]
+        slots = db._read_slots(level, sb).copy()
+        slots[-1] = encode_pointer(level, sb)
+        db._write_slots(level, sb, slots)
+        db.invalidate_tail_memo()
+        with pytest.raises(GraphStorageException):
+            db.get_adjacency(0)
+
+
+class TestEngineGuards:
+    def test_kvstore_oversized_key(self):
+        s = KVStore(BlockDevice(), page_size=256)
+        with pytest.raises(StorageEngineError):
+            s.put(b"k" * 200, b"v")
+
+    def test_pagedfile_rejects_mismatched_reopen(self):
+        dev = BlockDevice()
+        pf = PagedFile(dev, 64)
+        pf.allocate_page()
+        # Reopen with a different page size silently misinterprets pages;
+        # the B-tree layer catches it via its format checks.
+        tree_dev = BlockDevice()
+        tree = BTree(PagedFile(tree_dev, 256))
+        tree.put(b"a", b"b")
+        tree.flush()
+        # The meta page's magic survives a smaller-page reinterpretation,
+        # but the first node access trips the per-page type check.
+        reopened = BTree(PagedFile(tree_dev, 128))
+        with pytest.raises(PageFormatError):
+            reopened.get(b"a")
+
+    def test_store_edges_wrong_shape(self):
+        from repro.graphdb import make_graphdb
+
+        node = SimNode(0, NodeSpec())
+        db = make_graphdb("HashMap", node)
+        with pytest.raises(ValueError):
+            db.store_edges(np.array([1, 2, 3]))  # not reshapable to (E, 2)
+
+
+class TestMemoryBackingEdge:
+    def test_zero_length_ops(self):
+        m = MemoryBacking()
+        assert m.read(0, 0) == b""
+        m.write(5, b"")
+        assert m.size() == 0  # empty write does not extend

@@ -1,0 +1,55 @@
+"""Tiny-scale smoke tests for the figure reproductions.
+
+The benchmarks run the figures at full benchmark scale with shape
+assertions; these tests only verify that every figure function executes
+end-to-end and emits structurally complete series, so `pytest tests/`
+covers ``repro.experiments.figures`` without the benchmark runtime.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+SCALE = 0.08
+
+
+def test_fig_5_1_structure():
+    series, text = figures.fig_5_1(scale=SCALE, num_queries=3, num_backends=4)
+    assert set(series) == {"Array", "HashMap"}
+    assert all(v > 0 for s in series.values() for v in s.values())
+    assert "Figure 5.1" in text
+
+
+def test_fig_5_2_structure():
+    series = figures.fig_5_2(scale=SCALE, num_queries=3, num_backends=4, render=False)
+    assert set(series) == {
+        "BerkeleyDB", "BerkeleyDB (no cache)", "grDB", "grDB (no cache)",
+    }
+
+
+def test_fig_5_3_structure():
+    series = figures.fig_5_3(scale=SCALE, num_backends=4, render=False)
+    assert set(series) == set(figures.FIVE_BACKENDS)
+    for by_f in series.values():
+        assert set(by_f) == {1, 4}
+
+
+def test_fig_5_6_and_5_7_share_runs():
+    s6 = figures.fig_5_6(scale=SCALE, num_queries=2, backend_counts=(2, 4), render=False)
+    s7 = figures.fig_5_7(scale=SCALE, num_queries=2, backend_counts=(2, 4), render=False)
+    assert set(s6) == set(s7)
+    for backend in s6:
+        assert set(s6[backend]) == {2, 4}
+        assert all(v > 0 for v in s7[backend].values())
+
+
+def test_fig_5_8_and_5_9_share_runs():
+    s8 = figures.fig_5_8(scale=SCALE, num_queries=2, backend_counts=(2,), render=False)
+    s9 = figures.fig_5_9(scale=SCALE, num_queries=2, backend_counts=(2,), render=False)
+    assert set(s8) == {"in-memory visited", "external visited"}
+    assert set(s9) == set(s8)
+
+
+def test_table_5_1_render_modes():
+    stats = figures.table_5_1(scale=SCALE, render=False)
+    assert [s.name for s in stats] == ["PubMed-S", "PubMed-L", "Syn-2B"]

@@ -1,0 +1,211 @@
+"""Tests for graph generators, CSR, streams, and Table 5.1 statistics."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphgen import (
+    CSRGraph,
+    add_super_hub,
+    dedupe_edges,
+    edge_windows,
+    graph_stats,
+    preferential_attachment,
+    pubmed_like,
+    pubmed_semantic_graph,
+    read_ascii_edges,
+    read_binary_edges,
+    rmat_edges,
+    split_for_ingesters,
+    write_ascii_edges,
+    write_binary_edges,
+)
+from repro.ontology import validate_graph
+from repro.util import ConfigError
+
+
+class TestCSR:
+    def test_from_edges(self):
+        g = CSRGraph.from_edges(np.array([[0, 1], [1, 2], [0, 2]]))
+        assert g.num_vertices == 3
+        assert g.num_undirected_edges == 3
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+        assert g.degree(1) == 2
+        assert g.degrees().tolist() == [2, 2, 2]
+
+    def test_isolated_trailing_vertex(self):
+        g = CSRGraph.from_edges(np.array([[0, 1]]), num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.degree(3) == 0
+        assert g.neighbors(3).tolist() == []
+
+    def test_edge_list_roundtrip(self):
+        edges = dedupe_edges(np.array([[0, 1], [2, 1], [3, 0]]))
+        g = CSRGraph.from_edges(edges)
+        back = g.edge_list()
+        assert sorted(map(tuple, back.tolist())) == sorted(map(tuple, edges.tolist()))
+
+    def test_empty(self):
+        g = CSRGraph.from_edges(np.zeros((0, 2)))
+        assert g.num_vertices == 0
+
+    def test_invalid_xadj(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))
+
+
+class TestDedupe:
+    def test_removes_self_loops_and_dups(self):
+        edges = np.array([[1, 1], [0, 1], [1, 0], [0, 1]])
+        out = dedupe_edges(edges)
+        assert out.tolist() == [[0, 1]]
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=200))
+    def test_matches_set_model(self, pairs):
+        edges = np.array(pairs, dtype=np.int64).reshape(-1, 2)
+        model = {(min(u, v), max(u, v)) for u, v in pairs if u != v}
+        out = dedupe_edges(edges)
+        assert {tuple(e) for e in out.tolist()} == model
+
+
+class TestPreferentialAttachment:
+    def test_power_law_shape(self):
+        edges = preferential_attachment(5000, 4, seed=42)
+        stats = graph_stats(edges)
+        assert stats.min_degree >= 1
+        # Hubs should dwarf the average: scale-free signature.
+        assert stats.max_degree > 10 * stats.avg_degree
+        assert 4 < stats.avg_degree <= 8
+
+    def test_deterministic(self):
+        e1 = preferential_attachment(500, 3, seed=7)
+        e2 = preferential_attachment(500, 3, seed=7)
+        assert np.array_equal(e1, e2)
+        e3 = preferential_attachment(500, 3, seed=8)
+        assert not np.array_equal(e1, e3)
+
+    def test_connected_ids_within_range(self):
+        edges = preferential_attachment(300, 2, seed=1)
+        assert edges.min() >= 0 and edges.max() < 300
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            preferential_attachment(1, 1)
+        with pytest.raises(ConfigError):
+            preferential_attachment(10, 0)
+        with pytest.raises(ConfigError):
+            preferential_attachment(5, 5)
+
+    def test_super_hub(self):
+        edges = preferential_attachment(2000, 3, seed=0)
+        boosted = add_super_hub(edges, 2000, hub_vertex=0, hub_fraction=0.2)
+        stats = graph_stats(boosted)
+        assert stats.max_degree >= 0.18 * 2000
+
+    def test_super_hub_bad_params(self):
+        edges = np.array([[0, 1]])
+        with pytest.raises(ConfigError):
+            add_super_hub(edges, 10, 0, 0.0)
+        with pytest.raises(ConfigError):
+            add_super_hub(edges, 10, 99, 0.5)
+
+
+class TestRMAT:
+    def test_shape_and_range(self):
+        edges = rmat_edges(10, 5000, seed=3)
+        assert edges.min() >= 0 and edges.max() < 1024
+        stats = graph_stats(edges)
+        assert stats.max_degree > 3 * stats.avg_degree  # skewed
+
+    def test_deterministic(self):
+        assert np.array_equal(rmat_edges(8, 1000, seed=5), rmat_edges(8, 1000, seed=5))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigError):
+            rmat_edges(0, 10)
+        with pytest.raises(ConfigError):
+            rmat_edges(5, 0)
+        with pytest.raises(ConfigError):
+            rmat_edges(5, 10, a=0.9, b=0.9, c=0.1, d=0.1)
+
+
+class TestPubMedLike:
+    def test_matches_paper_shape(self):
+        n = 5000
+        edges = pubmed_like(n, avg_degree=14.84, hub_fraction=0.19, seed=0)
+        stats = graph_stats(edges)
+        assert stats.min_degree >= 1
+        # Hub adjacent to ~19% of vertices, as in PubMed-S.
+        assert stats.max_degree >= 0.15 * n
+        assert 10 < stats.avg_degree < 20
+
+    def test_semantic_graph_is_valid(self):
+        g = pubmed_semantic_graph(num_articles=50, num_authors=20, seed=1)
+        assert validate_graph(g) == []
+        assert g.type_histogram()["Article"] == 50
+        assert g.num_edges > 50
+
+
+class TestStreams:
+    def test_ascii_roundtrip(self):
+        edges = np.array([[0, 1], [5, 9]], dtype=np.int64)
+        buf = io.StringIO()
+        write_ascii_edges(buf, edges)
+        buf.seek(0)
+        assert np.array_equal(read_ascii_edges(buf), edges)
+
+    def test_ascii_skips_comments_and_blanks(self):
+        buf = io.StringIO("# header\n\n1 2\n")
+        assert read_ascii_edges(buf).tolist() == [[1, 2]]
+
+    def test_binary_roundtrip(self):
+        edges = np.array([[0, 1], [2**40, 7]], dtype=np.int64)
+        buf = io.BytesIO()
+        write_binary_edges(buf, edges)
+        buf.seek(0)
+        assert np.array_equal(read_binary_edges(buf), edges)
+
+    def test_edge_windows(self):
+        edges = np.arange(20).reshape(10, 2)
+        wins = list(edge_windows(edges, 4))
+        assert [len(w) for w in wins] == [4, 4, 2]
+        assert np.array_equal(np.vstack(wins), edges)
+        with pytest.raises(ValueError):
+            list(edge_windows(edges, 0))
+
+    def test_split_for_ingesters(self):
+        edges = np.arange(14).reshape(7, 2)
+        parts = split_for_ingesters(edges, 3)
+        assert len(parts) == 3
+        assert sum(len(p) for p in parts) == 7
+        with pytest.raises(ValueError):
+            split_for_ingesters(edges, 0)
+
+
+class TestStats:
+    def test_simple_graph(self):
+        edges = np.array([[0, 1], [0, 2], [0, 3]])
+        s = graph_stats(edges, name="star")
+        assert s.vertices == 4
+        assert s.undirected_edges == 3
+        assert (s.min_degree, s.max_degree) == (1, 3)
+        assert s.avg_degree == pytest.approx(1.5)
+
+    def test_forced_vertex_count(self):
+        edges = np.array([[0, 1]])
+        s = graph_stats(edges, num_vertices=5)
+        assert s.vertices == 5
+        assert s.min_degree == 0
+
+    def test_empty(self):
+        s = graph_stats(np.zeros((0, 2)))
+        assert s.vertices == 0 and s.avg_degree == 0.0
+
+    def test_row_formatting(self):
+        edges = np.array([[0, 1]])
+        s = graph_stats(edges, name="tiny")
+        assert "tiny" in s.row()
+        assert "Vertices" in s.header()

@@ -1,0 +1,105 @@
+"""Tests for the BerkeleyDB-like KV store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simcluster import BlockDevice
+from repro.storage import KVStore, decode_u64, encode_key_u64_u32, encode_u64
+from repro.util import KeyNotFound
+
+
+def make_store(**kw):
+    return KVStore(BlockDevice(), **kw)
+
+
+def test_put_get_delete():
+    s = make_store()
+    s.put(b"a", b"1")
+    assert s.get(b"a") == b"1"
+    assert s.get_or_none(b"zz") is None
+    s.delete(b"a")
+    with pytest.raises(KeyNotFound):
+        s.get(b"a")
+
+
+def test_len_and_contains():
+    s = make_store()
+    for i in range(50):
+        s.put(encode_u64(i), bytes([i]))
+    assert len(s) == 50
+    assert s.contains(encode_u64(10))
+    assert not s.contains(encode_u64(99))
+
+
+def test_cursor_order():
+    s = make_store()
+    for i in [5, 3, 9, 1]:
+        s.put(encode_u64(i), b"x")
+    assert [decode_u64(key) for key, _ in s.cursor()] == [1, 3, 5, 9]
+    assert [decode_u64(key) for key, _ in s.cursor(start=encode_u64(3), end=encode_u64(9))] == [3, 5]
+
+
+def test_prefix_scan_chunked_keys():
+    """The (vertex, chunk) composite key used by the graph backends."""
+    s = make_store()
+    for vertex in [7, 8]:
+        for chunk in range(3):
+            s.put(encode_key_u64_u32(vertex, chunk), b"data%d-%d" % (vertex, chunk))
+    got = list(s.prefix(encode_u64(7)))
+    assert [v for _, v in got] == [b"data7-0", b"data7-1", b"data7-2"]
+
+
+def test_chunked_8kb_values():
+    s = make_store()
+    chunk = bytes(range(256)) * 32  # 8 KB, like the paper's blocking
+    s.put(encode_key_u64_u32(1, 0), chunk)
+    assert s.get(encode_key_u64_u32(1, 0)) == chunk
+
+
+def test_cache_stats_exposed():
+    s = make_store(cache_pages=8)
+    s.put(b"k", b"v")
+    s.get(b"k")
+    assert s.cache_stats.accesses > 0
+
+
+def test_flush_then_reopen():
+    dev = BlockDevice()
+    s = KVStore(dev)
+    s.put(b"persist", b"me")
+    s.flush()
+    s2 = KVStore(dev)
+    assert s2.get(b"persist") == b"me"
+
+
+def test_encode_u64_order_preserving():
+    values = [0, 1, 255, 256, 2**32, 2**63, 2**64 - 1]
+    encoded = [encode_u64(v) for v in values]
+    assert encoded == sorted(encoded)
+    assert [decode_u64(e) for e in encoded] == values
+
+
+def test_composite_key_ordering():
+    keys = [
+        encode_key_u64_u32(1, 5),
+        encode_key_u64_u32(2, 0),
+        encode_key_u64_u32(1, 6),
+        encode_key_u64_u32(0, 99),
+    ]
+    assert sorted(keys) == [
+        encode_key_u64_u32(0, 99),
+        encode_key_u64_u32(1, 5),
+        encode_key_u64_u32(1, 6),
+        encode_key_u64_u32(2, 0),
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.dictionaries(st.binary(min_size=1, max_size=16), st.binary(max_size=200), max_size=60))
+def test_kvstore_is_a_map(d):
+    s = make_store()
+    for key, val in d.items():
+        s.put(key, val)
+    assert len(s) == len(d)
+    assert dict(s.cursor()) == d

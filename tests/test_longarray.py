@@ -1,0 +1,100 @@
+"""Unit and property tests for repro.util.longarray."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import LongArray
+
+
+def test_empty():
+    a = LongArray()
+    assert len(a) == 0
+    assert a.tolist() == []
+    assert a.view().dtype == np.int64
+
+
+def test_append_and_index():
+    a = LongArray()
+    for i in range(100):
+        a.append(i * 7)
+    assert len(a) == 100
+    assert a[0] == 0
+    assert a[99] == 693
+    assert a[-1] == 693
+    with pytest.raises(IndexError):
+        _ = a[100]
+
+
+def test_extend_various_inputs():
+    a = LongArray([1, 2])
+    a.extend([3, 4])
+    a.extend(np.array([5, 6], dtype=np.int32))
+    b = LongArray([7])
+    a.extend(b)
+    assert a.tolist() == [1, 2, 3, 4, 5, 6, 7]
+
+
+def test_extend_rejects_2d():
+    a = LongArray()
+    with pytest.raises(ValueError):
+        a.extend(np.zeros((2, 2)))
+
+
+def test_clear_keeps_capacity():
+    a = LongArray(range(1000))
+    cap = a.capacity
+    a.clear()
+    assert len(a) == 0
+    assert a.capacity == cap
+
+
+def test_view_is_zero_copy():
+    a = LongArray([1, 2, 3])
+    v = a.view()
+    v[0] = 42
+    assert a[0] == 42
+
+
+def test_to_numpy_is_copy():
+    a = LongArray([1, 2, 3])
+    c = a.to_numpy()
+    c[0] = 42
+    assert a[0] == 1
+
+
+def test_slice_and_eq():
+    a = LongArray([5, 6, 7, 8])
+    assert list(a[1:3]) == [6, 7]
+    assert a == [5, 6, 7, 8]
+    assert a == LongArray([5, 6, 7, 8])
+    assert not (a == [5, 6])
+
+
+def test_sort():
+    a = LongArray([3, 1, 2])
+    a.sort()
+    assert a.tolist() == [1, 2, 3]
+
+
+def test_iter():
+    assert list(LongArray([9, 8])) == [9, 8]
+
+
+@given(st.lists(st.integers(min_value=-(2**62), max_value=2**62)))
+def test_roundtrip_matches_list(xs):
+    a = LongArray()
+    for x in xs:
+        a.append(x)
+    assert a.tolist() == xs
+
+
+@given(
+    st.lists(st.integers(min_value=-(2**40), max_value=2**40)),
+    st.lists(st.integers(min_value=-(2**40), max_value=2**40)),
+)
+def test_extend_is_concat(xs, ys):
+    a = LongArray(xs)
+    a.extend(ys)
+    assert a.tolist() == xs + ys

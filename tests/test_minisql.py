@@ -1,0 +1,221 @@
+"""Tests for MiniSQL: parser, heap file, and executor."""
+
+import pytest
+
+from repro.simcluster import BlockDevice, CpuProfile, VirtualClock
+from repro.storage import HeapFile, MiniSQL, PagedFile, parse_sql
+from repro.storage.sqlparser import Condition, Insert, Literal, Param, Select
+from repro.util import SqlError, StorageEngineError
+
+
+def make_db(**kw):
+    devices = {}
+
+    def provider(name):
+        return devices.setdefault(name, BlockDevice())
+
+    return MiniSQL(provider, **kw)
+
+
+class TestHeapFile:
+    def make(self, page_size=256):
+        return HeapFile(PagedFile(BlockDevice(), page_size))
+
+    def test_insert_read(self):
+        h = self.make()
+        rid = h.insert(b"hello")
+        assert h.read(rid) == b"hello"
+
+    def test_rows_span_pages(self):
+        h = self.make(page_size=128)
+        rids = [h.insert(b"x" * 50) for _ in range(10)]
+        assert len({r[0] for r in rids}) > 1  # multiple pages used
+        assert all(h.read(r) == b"x" * 50 for r in rids)
+
+    def test_oversized_row(self):
+        h = self.make(page_size=128)
+        with pytest.raises(StorageEngineError):
+            h.insert(b"y" * 500)
+
+    def test_delete_and_scan(self):
+        h = self.make()
+        r1 = h.insert(b"a")
+        r2 = h.insert(b"b")
+        h.delete(r1)
+        assert [payload for _, payload in h.scan()] == [b"b"]
+        assert h.count() == 1
+        with pytest.raises(StorageEngineError):
+            h.read(r1)
+        with pytest.raises(StorageEngineError):
+            h.delete(r1)
+
+    def test_update_in_place_same_length(self):
+        h = self.make()
+        rid = h.insert(b"aaaa")
+        assert h.update_in_place(rid, b"bbbb")
+        assert h.read(rid) == b"bbbb"
+        assert not h.update_in_place(rid, b"longer-now")
+        assert h.read(rid) == b"bbbb"
+
+
+class TestParser:
+    def test_create_table(self):
+        stmt = parse_sql("CREATE TABLE edges (src BIGINT, chunk INT, adj BLOB)")
+        assert stmt.table == "edges"
+        assert [c.type for c in stmt.columns] == ["INT64", "INT32", "BLOB"]
+
+    def test_insert_params(self):
+        stmt = parse_sql("INSERT INTO t VALUES (?, 5, 'text')")
+        assert isinstance(stmt, Insert)
+        assert stmt.values == (Param(0), Literal(5), Literal("text"))
+
+    def test_select_where_and(self):
+        stmt = parse_sql("SELECT a, b FROM t WHERE a = ? AND b >= 3 ORDER BY b DESC")
+        assert isinstance(stmt, Select)
+        assert stmt.columns == ("a", "b")
+        assert stmt.where == (Condition("a", "=", Param(0)), Condition("b", ">=", Literal(3)))
+        assert stmt.order_by == (("b", False),)
+
+    def test_select_star_and_count(self):
+        assert parse_sql("SELECT * FROM t").columns == ("*",)
+        assert parse_sql("SELECT COUNT(*) FROM t").columns == ("COUNT(*)",)
+
+    def test_string_escaping(self):
+        stmt = parse_sql("INSERT INTO t VALUES ('it''s')")
+        assert stmt.values[0].value == "it's"
+
+    def test_errors(self):
+        for bad in [
+            "DROP TABLE t",
+            "SELECT FROM t",
+            "INSERT INTO t (1)",
+            "CREATE TABLE t (a FLOAT)",
+            "SELECT * FROM t WHERE a LIKE 'x'",
+            "SELECT * FROM t; SELECT * FROM u",
+            "",
+        ]:
+            with pytest.raises(SqlError):
+                parse_sql(bad)
+
+    def test_varchar_length_suffix(self):
+        stmt = parse_sql("CREATE TABLE t (name VARCHAR(255))")
+        assert stmt.columns[0].type == "TEXT"
+
+
+class TestExecutor:
+    def test_create_insert_select(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT, b TEXT)")
+        db.execute("INSERT INTO t VALUES (?, ?)", (1, "one"))
+        db.execute("INSERT INTO t VALUES (2, 'two')")
+        rows = db.execute("SELECT * FROM t WHERE a = 2")
+        assert rows == [(2, "two")]
+        assert db.execute("SELECT b FROM t ORDER BY a") == [("one",), ("two",)]
+        assert db.execute("SELECT COUNT(*) FROM t") == [(2,)]
+
+    def test_blob_roundtrip(self):
+        db = make_db()
+        db.execute("CREATE TABLE c (id BIGINT, data BLOB)")
+        blob = bytes(range(256)) * 8
+        db.execute("INSERT INTO c VALUES (?, ?)", (7, blob))
+        assert db.execute("SELECT data FROM c WHERE id = 7") == [(blob,)]
+
+    def test_index_used_for_lookup(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT, b BIGINT)")
+        db.execute("CREATE INDEX ON t (a)")
+        for i in range(200):
+            db.execute("INSERT INTO t VALUES (?, ?)", (i, i * i))
+        # Count heap page reads for an indexed point query.
+        heap_dev = db.tables["t"].heap.pages.device
+        before = heap_dev.stats.reads
+        assert db.execute("SELECT b FROM t WHERE a = 150") == [(22500,)]
+        assert heap_dev.stats.reads - before <= 2  # index probe, not a scan
+
+    def test_composite_index_prefix(self):
+        db = make_db()
+        db.execute("CREATE TABLE chunks (src BIGINT, chunk INT, data BLOB)")
+        db.execute("CREATE INDEX ON chunks (src, chunk)")
+        for v in range(10):
+            for c in range(3):
+                db.execute("INSERT INTO chunks VALUES (?, ?, ?)", (v, c, b"d%d%d" % (v, c)))
+        rows = db.execute("SELECT data FROM chunks WHERE src = 4 ORDER BY chunk")
+        assert rows == [(b"d40",), (b"d41",), (b"d42",)]
+        rows = db.execute("SELECT data FROM chunks WHERE src = 4 AND chunk = 1")
+        assert rows == [(b"d41",)]
+
+    def test_index_backfill(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("INSERT INTO t VALUES (3)")
+        db.execute("CREATE INDEX ON t (a)")  # backfills existing rows
+        assert db.execute("SELECT * FROM t WHERE a = 3") == [(3,)]
+
+    def test_update(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT, b TEXT)")
+        db.execute("CREATE INDEX ON t (a)")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        n = db.execute("UPDATE t SET b = ? WHERE a = 1", ("hello world",))
+        assert n == 1
+        assert db.execute("SELECT b FROM t WHERE a = 1") == [("hello world",)]
+
+    def test_update_indexed_column(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("CREATE INDEX ON t (a)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("UPDATE t SET a = 2 WHERE a = 1")
+        assert db.execute("SELECT * FROM t WHERE a = 1") == []
+        assert db.execute("SELECT * FROM t WHERE a = 2") == [(2,)]
+
+    def test_delete(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT)")
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?)", (i,))
+        assert db.execute("DELETE FROM t WHERE a < 5") == 5
+        assert db.execute("SELECT COUNT(*) FROM t") == [(5,)]
+
+    def test_negative_ints_ordered_in_index(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("CREATE INDEX ON t (a)")
+        for v in [5, -3, 0, -100]:
+            db.execute("INSERT INTO t VALUES (?)", (v,))
+        assert db.execute("SELECT a FROM t WHERE a = -3") == [(-3,)]
+
+    def test_range_predicates_without_index(self):
+        db = make_db()
+        db.execute("CREATE TABLE t (a BIGINT)")
+        for i in range(10):
+            db.execute("INSERT INTO t VALUES (?)", (i,))
+        assert db.execute("SELECT COUNT(*) FROM t WHERE a >= 3 AND a < 6") == [(3,)]
+        assert db.execute("SELECT COUNT(*) FROM t WHERE a != 0") == [(9,)]
+
+    def test_statement_overhead_charged(self):
+        clock = VirtualClock()
+        cpu = CpuProfile(sql_statement_seconds=0.001)
+        devices = {}
+        db = MiniSQL(lambda n: devices.setdefault(n, BlockDevice()), clock=clock, cpu=cpu)
+        db.execute("CREATE TABLE t (a BIGINT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert clock.now >= 0.002
+
+    def test_errors(self):
+        db = make_db()
+        with pytest.raises(SqlError):
+            db.execute("SELECT * FROM missing")
+        db.execute("CREATE TABLE t (a BIGINT)")
+        with pytest.raises(SqlError):
+            db.execute("CREATE TABLE t (a BIGINT)")
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO t VALUES (1, 2)")
+        with pytest.raises(SqlError):
+            db.execute("SELECT nope FROM t")
+        with pytest.raises(SqlError):
+            db.execute("SELECT * FROM t WHERE nope = 1")
+        with pytest.raises(SqlError):
+            db.execute("INSERT INTO t VALUES (?)")  # missing parameter
+        with pytest.raises(SqlError):
+            db.execute("CREATE INDEX ON t (nope)")

@@ -1,0 +1,137 @@
+"""Tests for ontologies, semantic graphs, and validation."""
+
+import pytest
+
+from repro.ontology import (
+    Ontology,
+    SemanticGraph,
+    example_meeting_ontology,
+    validate_graph,
+)
+from repro.ontology.schema import EdgeTypeRule
+from repro.util import OntologyError
+
+
+class TestOntology:
+    def test_build_and_query(self):
+        onto = Ontology("test")
+        onto.add_vertex_type("A").add_vertex_type("B")
+        onto.add_edge_type("A", "links", "B")
+        assert onto.allows("A", "links", "B")
+        assert onto.allows("B", "links", "A")  # symmetric by default
+        assert not onto.allows("A", "links", "A")
+        assert "A" in onto and "C" not in onto
+
+    def test_asymmetric_rule(self):
+        onto = Ontology()
+        onto.add_vertex_type("A").add_vertex_type("B")
+        onto.add_edge_type("A", "cites", "B", symmetric=False)
+        assert onto.allows("A", "cites", "B")
+        assert not onto.allows("B", "cites", "A")
+
+    def test_unknown_vertex_type_rejected(self):
+        onto = Ontology()
+        onto.add_vertex_type("A")
+        with pytest.raises(OntologyError):
+            onto.add_edge_type("A", "links", "Nope")
+
+    def test_empty_names_rejected(self):
+        onto = Ontology()
+        with pytest.raises(OntologyError):
+            onto.add_vertex_type("")
+        onto.add_vertex_type("A")
+        with pytest.raises(OntologyError):
+            onto.add_edge_type("A", "", "A")
+
+    def test_allowed_neighbors(self):
+        onto = example_meeting_ontology()
+        assert ("attends", "Meeting") in onto.allowed_neighbors("Person")
+        # Figure 1.1's constraint: Date never connects directly to Person.
+        assert all(dst != "Person" for _, dst in onto.allowed_neighbors("Date"))
+
+    def test_rules_are_frozen_view(self):
+        onto = Ontology()
+        onto.add_vertex_type("A")
+        onto.add_edge_type("A", "x", "A")
+        assert EdgeTypeRule("A", "x", "A") in onto.rules
+
+
+class TestSemanticGraph:
+    def make(self):
+        onto = example_meeting_ontology()
+        g = SemanticGraph(onto)
+        g.add_vertex(0, "Person")
+        g.add_vertex(1, "Meeting")
+        g.add_vertex(2, "Date")
+        return g
+
+    def test_valid_edges(self):
+        g = self.make()
+        g.add_edge(0, 1, "attends")
+        g.add_edge(1, 2, "occurred on")
+        assert g.num_edges == 2
+        assert g.vertex_type(1) == "Meeting"
+
+    def test_ontology_enforced(self):
+        g = self.make()
+        with pytest.raises(OntologyError):
+            g.add_edge(0, 2, "occurred on")  # Person--Date forbidden
+        with pytest.raises(OntologyError):
+            g.add_edge(0, 1, "nonsense")
+
+    def test_edge_needs_declared_vertices(self):
+        g = self.make()
+        with pytest.raises(OntologyError):
+            g.add_edge(0, 99, "attends")
+
+    def test_type_conflict(self):
+        g = self.make()
+        with pytest.raises(OntologyError):
+            g.add_vertex(0, "Meeting")
+        g.add_vertex(0, "Person")  # same type is idempotent
+
+    def test_negative_gid(self):
+        g = self.make()
+        with pytest.raises(OntologyError):
+            g.add_vertex(-1, "Person")
+
+    def test_edge_list_and_histogram(self):
+        g = self.make()
+        g.add_edge(0, 1, "attends")
+        el = g.edge_list()
+        assert el.shape == (1, 2)
+        assert el[0].tolist() == [0, 1]
+        assert g.type_histogram() == {"Person": 1, "Meeting": 1, "Date": 1}
+
+    def test_untyped_graph_allows_any_edge(self):
+        g = SemanticGraph()  # no ontology
+        g.add_vertex(0, "X")
+        g.add_vertex(1, "Y")
+        g.add_edge(0, 1, "whatever")
+        assert g.num_edges == 1
+
+
+class TestValidation:
+    def test_clean_graph(self):
+        onto = example_meeting_ontology()
+        g = SemanticGraph(onto)
+        g.add_vertex(0, "Person")
+        g.add_vertex(1, "Meeting")
+        g.add_edge(0, 1, "attends")
+        assert validate_graph(g) == []
+
+    def test_violations_reported(self):
+        onto = example_meeting_ontology()
+        g = SemanticGraph()  # untyped container, validated post-hoc
+        g.add_vertex(0, "Person")
+        g.add_vertex(1, "Alien")
+        g.add_vertex(2, "Date")
+        g.add_edge(0, 2, "occurred on")
+        violations = validate_graph(g, onto)
+        kinds = sorted(v.kind for v in violations)
+        assert kinds == ["forbidden-edge", "unknown-vertex-type"]
+
+    def test_requires_an_ontology(self):
+        g = SemanticGraph()
+        with pytest.raises(ValueError):
+            validate_graph(g)

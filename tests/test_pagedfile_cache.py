@@ -1,0 +1,135 @@
+"""Tests for PagedFile and LRUBlockCache."""
+
+import pytest
+
+from repro.simcluster import BlockDevice, DiskProfile, MemoryBacking, VirtualClock
+from repro.storage import LRUBlockCache, PagedFile
+from repro.util import StorageEngineError
+
+
+class TestPagedFile:
+    def test_allocate_and_roundtrip(self):
+        pf = PagedFile(BlockDevice(), page_size=64)
+        assert pf.npages == 0
+        p0 = pf.allocate_page()
+        p1 = pf.allocate_page()
+        assert (p0, p1) == (0, 1)
+        pf.write_page(1, b"b" * 64)
+        assert pf.read_page(1) == b"b" * 64
+        assert pf.read_page(0) == b"\x00" * 64
+
+    def test_write_grows_by_one(self):
+        pf = PagedFile(BlockDevice(), page_size=32)
+        pf.write_page(0, b"x" * 32)
+        assert pf.npages == 1
+        with pytest.raises(StorageEngineError):
+            pf.write_page(5, b"x" * 32)  # hole
+
+    def test_read_out_of_bounds(self):
+        pf = PagedFile(BlockDevice(), page_size=32)
+        with pytest.raises(StorageEngineError):
+            pf.read_page(0)
+
+    def test_wrong_size_write(self):
+        pf = PagedFile(BlockDevice(), page_size=32)
+        with pytest.raises(StorageEngineError):
+            pf.write_page(0, b"short")
+
+    def test_bad_page_size(self):
+        with pytest.raises(StorageEngineError):
+            PagedFile(BlockDevice(), page_size=0)
+
+    def test_adopts_existing_content(self):
+        dev = BlockDevice()
+        pf = PagedFile(dev, page_size=16)
+        pf.write_page(0, b"a" * 16)
+        pf.write_page(1, b"b" * 16)
+        reopened = PagedFile(dev, page_size=16)
+        assert reopened.npages == 2
+        assert reopened.read_page(1) == b"b" * 16
+
+    def test_io_charges_virtual_time(self):
+        clock = VirtualClock()
+        prof = DiskProfile(seek_seconds=0.001, read_bandwidth=1e6, write_bandwidth=1e6)
+        pf = PagedFile(BlockDevice(MemoryBacking(), prof, clock), page_size=1000)
+        pf.allocate_page()
+        assert clock.now > 0
+
+
+class TestLRUBlockCache:
+    def test_hit_miss_accounting(self):
+        c = LRUBlockCache(2)
+        assert c.get("a") is None
+        c.put("a", b"1")
+        assert c.get("a") == b"1"
+        assert c.stats.hits == 1 and c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        written = []
+        c = LRUBlockCache(2, writer=lambda k, v: written.append(k))
+        c.put("a", b"1")
+        c.put("b", b"2")
+        c.get("a")  # refresh a; b becomes LRU
+        c.put("c", b"3")
+        assert "b" not in c and "a" in c and "c" in c
+        assert written == []  # clean eviction: no write-back
+
+    def test_dirty_eviction_writes_back(self):
+        written = {}
+        c = LRUBlockCache(1, writer=lambda k, v: written.__setitem__(k, v))
+        c.put("a", b"1", dirty=True)
+        c.put("b", b"2")
+        assert written == {"a": b"1"}
+        assert c.stats.writebacks == 1
+
+    def test_flush_writes_all_dirty(self):
+        written = {}
+        c = LRUBlockCache(10, writer=lambda k, v: written.__setitem__(k, v))
+        c.put("a", b"1", dirty=True)
+        c.put("b", b"2")
+        c.put("c", b"3", dirty=True)
+        c.flush()
+        assert written == {"a": b"1", "c": b"3"}
+        c.flush()  # idempotent
+        assert c.stats.writebacks == 2
+
+    def test_zero_capacity_passthrough(self):
+        written = {}
+        c = LRUBlockCache(0, writer=lambda k, v: written.__setitem__(k, v))
+        c.put("a", b"1", dirty=True)
+        assert written == {"a": b"1"}
+        assert c.get("a") is None
+        assert c.stats.misses == 1
+
+    def test_dirty_without_writer_raises(self):
+        c = LRUBlockCache(1)
+        c.put("a", b"1", dirty=True)
+        with pytest.raises(StorageEngineError):
+            c.put("b", b"2")  # evicts dirty "a" with nowhere to go
+
+    def test_invalidate_drops_dirty_silently(self):
+        c = LRUBlockCache(2, writer=lambda k, v: pytest.fail("should not write"))
+        c.put("a", b"1", dirty=True)
+        c.invalidate("a")
+        c.flush()
+
+    def test_overwrite_marks_dirty(self):
+        written = {}
+        c = LRUBlockCache(1, writer=lambda k, v: written.__setitem__(k, v))
+        c.put("a", b"1")
+        c.put("a", b"2", dirty=True)
+        c.flush()
+        assert written == {"a": b"2"}
+
+    def test_clear(self):
+        written = {}
+        c = LRUBlockCache(4, writer=lambda k, v: written.__setitem__(k, v))
+        c.put("a", b"1", dirty=True)
+        c.clear()
+        assert len(c) == 0
+        assert written == {"a": b"1"}
+
+    def test_negative_capacity(self):
+        with pytest.raises(StorageEngineError):
+            LRUBlockCache(-1)

@@ -1,0 +1,99 @@
+"""Tests for the path-reconstructing BFS analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import MSSG, MSSGConfig
+from repro.bfs import bfs_distance
+from repro.graphgen import CSRGraph, dedupe_edges, preferential_attachment
+
+
+def valid_path(path, edges, s, d):
+    """A path is valid iff endpoints match and every hop is an edge."""
+    if path[0] != s or path[-1] != d:
+        return False
+    edge_set = {(int(a), int(b)) for a, b in edges} | {
+        (int(b), int(a)) for a, b in edges
+    }
+    return all((u, v) in edge_set for u, v in zip(path, path[1:]))
+
+
+class TestPathQuery:
+    EDGES = dedupe_edges(preferential_attachment(120, 2, seed=6))
+
+    def run(self, s, d, **cfg):
+        defaults = dict(num_backends=3, backend="HashMap")
+        defaults.update(cfg)
+        with MSSG(MSSGConfig(**defaults)) as mssg:
+            mssg.ingest(self.EDGES)
+            return mssg.query("path", source=s, dest=d).result
+
+    def test_path_is_shortest_and_valid(self):
+        g = CSRGraph.from_edges(self.EDGES, num_vertices=120)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            s, d = int(rng.integers(0, 120)), int(rng.integers(0, 120))
+            expected = bfs_distance(g, s, d)
+            path = self.run(s, d)
+            if expected == -1:
+                assert path is None
+            elif expected == 0:
+                assert path == [s]
+            else:
+                assert valid_path(path, self.EDGES, s, d)
+                assert len(path) - 1 == expected
+
+    def test_source_equals_dest(self):
+        assert self.run(9, 9) == [9]
+
+    def test_adjacent_pair(self):
+        u, v = map(int, self.EDGES[0])
+        assert self.run(u, v) == [u, v]
+
+    def test_unreachable(self):
+        edges = np.array([[0, 1], [5, 6]])
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            assert mssg.query("path", source=0, dest=6).result is None
+
+    @pytest.mark.parametrize("declustering", ["vertex-rr", "edge-rr", "vertex-hash"])
+    def test_all_declusterings(self, declustering):
+        g = CSRGraph.from_edges(self.EDGES, num_vertices=120)
+        expected = bfs_distance(g, 0, 99)
+        path = self.run(0, 99, declustering=declustering)
+        assert len(path) - 1 == expected
+        assert valid_path(path, self.EDGES, 0, 99)
+
+    def test_grdb_backend(self):
+        g = CSRGraph.from_edges(self.EDGES, num_vertices=120)
+        expected = bfs_distance(g, 2, 88)
+        path = self.run(2, 88, backend="grDB")
+        assert len(path) - 1 == expected
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 25), st.integers(0, 25)), min_size=2, max_size=60
+    ),
+    endpoints=st.tuples(st.integers(0, 25), st.integers(0, 25)),
+)
+def test_property_paths_are_shortest(edges, endpoints):
+    clean = dedupe_edges(np.array(edges, dtype=np.int64))
+    if len(clean) == 0:
+        return
+    s, d = endpoints
+    graph = CSRGraph.from_edges(clean, num_vertices=26)
+    expected = bfs_distance(graph, s, d)
+    with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+        mssg.ingest(clean)
+        path = mssg.query("path", source=s, dest=d).result
+    if expected == -1:
+        assert path is None
+    elif expected == 0:
+        assert path == [s]
+    else:
+        assert len(path) - 1 == expected
+        assert valid_path(path, clean, s, d)

@@ -1,0 +1,175 @@
+"""Tests for sub-communicators and the OS page cache disk model."""
+
+import pytest
+
+from repro.simcluster import (
+    ANY,
+    BlockDevice,
+    DiskProfile,
+    MemoryBacking,
+    NodeSpec,
+    SimCluster,
+    SubComm,
+    VirtualClock,
+)
+from repro.simcluster.disk import OSPageCache
+from repro.util import CommError
+
+
+class TestSubComm:
+    def test_collectives_within_group(self):
+        cluster = SimCluster(nranks=5)
+        group = [1, 3, 4]
+
+        def program(ctx):
+            if ctx.rank not in group:
+                return None
+            sub = SubComm(ctx.comm, group)
+            total = yield from sub.allreduce(sub.rank, lambda a, b: a + b)
+            return (sub.rank, sub.size, total)
+
+        results = cluster.run(program)
+        assert results[0] is None and results[2] is None
+        assert results[1] == (0, 3, 3)
+        assert results[3] == (1, 3, 3)
+        assert results[4] == (2, 3, 3)
+
+    def test_point_to_point_translation(self):
+        cluster = SimCluster(nranks=4)
+        group = [2, 0]
+
+        def program(ctx):
+            if ctx.rank not in group:
+                return None
+            sub = SubComm(ctx.comm, group)
+            if sub.rank == 0:  # global rank 2
+                sub.send(1, "hello", tag=5)
+                return "sent"
+            msg = yield from sub.recv(source=0, tag=5)
+            return (msg.source, msg.dest, msg.payload)
+
+        results = cluster.run(program)
+        # Global rank 0 is local rank 1 in the group [2, 0].
+        assert results[0] == (0, 1, "hello")
+        assert results[2] == "sent"
+
+    def test_any_source_localized(self):
+        cluster = SimCluster(nranks=3)
+        group = [0, 2]
+
+        def program(ctx):
+            if ctx.rank not in group:
+                return None
+            sub = SubComm(ctx.comm, group)
+            if sub.rank == 1:
+                sub.send(0, sub.rank * 10)
+                return None
+            msg = yield from sub.recv(source=ANY)
+            return msg.source
+
+        results = cluster.run(program)
+        assert results[0] == 1  # localized source rank
+
+    def test_try_recv_consumes(self):
+        cluster = SimCluster(nranks=2)
+
+        def program(ctx):
+            sub = SubComm(ctx.comm, [0, 1])
+            if sub.rank == 0:
+                sub.send(1, "x", tag=9)
+                return None
+            ctx.compute(1.0)
+            first = yield from sub.try_recv(tag=9)
+            second = yield from sub.try_recv(tag=9)
+            return (first.payload if first else None, second)
+
+        assert cluster.run(program)[1] == ("x", None)
+
+    def test_membership_required(self):
+        cluster = SimCluster(nranks=3)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(CommError):
+                    SubComm(ctx.comm, [1, 2])
+            yield from ctx.comm.barrier()
+
+        cluster.run(program)
+
+    def test_invalid_groups(self):
+        cluster = SimCluster(nranks=3)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                with pytest.raises(CommError):
+                    SubComm(ctx.comm, [0, 0, 1])
+                with pytest.raises(CommError):
+                    SubComm(ctx.comm, [0, 7])
+                sub = SubComm(ctx.comm, [0, 1])
+                with pytest.raises(CommError):
+                    sub.send(5, "x")
+            yield from ctx.comm.barrier()
+
+        cluster.run(program)
+
+
+class TestOSPageCache:
+    def make_device(self, cache_pages=4, **profile_kw):
+        prof = DiskProfile(
+            seek_seconds=0.01,
+            read_bandwidth=1e6,
+            os_cache_bytes=cache_pages * 4096,
+            os_read_hit_seconds=1e-6,
+            **profile_kw,
+        )
+        clock = VirtualClock()
+        return BlockDevice(MemoryBacking(), prof, clock), clock
+
+    def test_repeat_read_hits_cache(self):
+        dev, clock = self.make_device()
+        dev.write(0, b"x" * 4096)
+        t0 = clock.now
+        dev.read(0, 4096)  # write-through populated the cache: hit
+        first = clock.now - t0
+        assert first < 1e-4  # syscall cost, not seek+transfer
+
+    def test_cold_read_pays_physical(self):
+        dev, clock = self.make_device()
+        dev.backing.write(0, b"y" * 4096)  # bytes exist, never accessed
+        t0 = clock.now
+        dev.read(0, 4096)
+        assert clock.now - t0 >= 0.01  # seek at least
+
+    def test_lru_eviction(self):
+        dev, clock = self.make_device(cache_pages=2)
+        for page in range(3):  # touch 3 pages through a 2-page cache
+            dev.read(page * 4096, 4096)
+        t0 = clock.now
+        dev.read(0, 4096)  # page 0 was evicted: physical again
+        assert clock.now - t0 >= 0.01
+
+    def test_shared_cache_across_devices(self):
+        cache = OSPageCache(capacity_pages=2)
+        prof = DiskProfile(
+            seek_seconds=0.01, read_bandwidth=1e6,
+            os_cache_bytes=1 << 20, os_read_hit_seconds=1e-6,
+        )
+        clock = VirtualClock()
+        a = BlockDevice(MemoryBacking(), prof, clock, name="a", os_cache=cache)
+        b = BlockDevice(MemoryBacking(), prof, clock, name="b", os_cache=cache)
+        a.read(0, 4096)
+        b.read(0, 4096)
+        # Two devices, two distinct pages in the shared cache.
+        assert cache.misses == 2
+        b.read(4096, 4096)  # evicts device a's page from the shared pool
+        t0 = clock.now
+        a.read(0, 4096)
+        assert clock.now - t0 >= 0.01
+
+    def test_node_shares_cache(self):
+        spec = NodeSpec(disk=DiskProfile(os_cache_bytes=1 << 20))
+        from repro.simcluster import SimNode
+
+        node = SimNode(0, spec)
+        d1, d2 = node.disk("one"), node.disk("two")
+        assert d1._os_cache is d2._os_cache is node.os_cache

@@ -1,0 +1,67 @@
+"""Tests for cluster telemetry and load-balance reporting."""
+
+import numpy as np
+
+from repro import MSSG, MSSGConfig
+from repro.experiments import cluster_utilization, format_utilization, load_imbalance
+from repro.graphgen import dedupe_edges, preferential_attachment
+
+EDGES = dedupe_edges(preferential_attachment(400, 4, seed=3))
+
+
+def deploy(**kw):
+    defaults = dict(num_backends=4, num_frontends=2, backend="grDB")
+    defaults.update(kw)
+    mssg = MSSG(MSSGConfig(**defaults))
+    mssg.ingest(EDGES)
+    return mssg
+
+
+def test_roles_and_counters():
+    with deploy() as mssg:
+        rows = cluster_utilization(mssg)
+        assert len(rows) == 6
+        assert [r.role for r in rows] == ["front-end"] * 2 + ["back-end"] * 4
+        # Back-ends did the disk writes; front-ends did none.
+        for r in rows:
+            if r.role == "front-end":
+                assert r.disk_writes == 0
+                assert r.messages_sent > 0  # they shipped edge blocks
+            else:
+                assert r.bytes_written > 0
+        assert all(r.clock_seconds >= 0 for r in rows)
+
+
+def test_queries_add_read_traffic():
+    with deploy() as mssg:
+        before = sum(r.disk_reads for r in cluster_utilization(mssg))
+        mssg.query_bfs(0, 399)
+        after = sum(r.disk_reads for r in cluster_utilization(mssg))
+        assert after >= before
+
+
+def test_load_imbalance_near_one_for_round_robin():
+    with deploy() as mssg:
+        rows = cluster_utilization(mssg)
+        # GID % p declustering spreads a scale-free graph quite evenly
+        # (the hub's adjacency is one list, but every other vertex's list
+        # lands round-robin).
+        assert 1.0 <= load_imbalance(rows) < 1.8
+
+
+def test_format_renders():
+    with deploy(num_backends=2, num_frontends=1, backend="HashMap") as mssg:
+        text = format_utilization(cluster_utilization(mssg))
+        assert "front-end" in text and "back-end" in text
+        assert len(text.splitlines()) == 2 + 3
+
+
+def test_disk_utilization_property():
+    with deploy() as mssg:
+        rows = cluster_utilization(mssg)
+        for r in rows:
+            assert 0.0 <= r.disk_utilization <= 1.0 + 1e-9
+
+
+def test_imbalance_degenerate_cases():
+    assert load_imbalance([]) == 1.0
