@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick examples figures clean
+.PHONY: install test lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -21,6 +21,13 @@ bench-output:
 
 bench-quick:  # smaller workloads for a fast shape check
 	REPRO_BENCH_SCALE=0.4 REPRO_BENCH_QUERIES=6 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-smoke:  # the batched-I/O ablation, CI-sized (fig-5.4 ratio bands need full scale)
+	REPRO_BENCH_SCALE=0.4 PYTHONPATH=src $(PYTHON) -m pytest \
+		benchmarks/bench_ablation_batchio.py --benchmark-only
+
+lint:  # requires ruff (pip install ruff)
+	$(PYTHON) -m ruff check src/
 
 examples:
 	$(PYTHON) examples/quickstart.py

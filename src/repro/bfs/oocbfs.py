@@ -22,7 +22,7 @@ fringe is broadcast to all processors (line 21).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -113,12 +113,19 @@ def oocbfs_program(
 
         if cfg.owner_known:
             owners = owner_of(new)
-            mine = new[owners == rank]
             # Sender-side marking (line 14) for vertices we hand off; our
             # own discoveries are marked on receipt like everyone else's.
             remote = new[owners != rank]
             visited.mark_many(remote, levcnt)
-            parts = [new[owners == q] if q != rank else mine for q in range(size)]
+            # One stable sort groups the new fringe by destination rank
+            # instead of size boolean-mask passes over the whole array.
+            order = np.argsort(owners, kind="stable")
+            grouped = new[order]
+            dests, starts = np.unique(owners[order], return_index=True)
+            bounds = np.append(starts, len(grouped))
+            parts = [np.empty(0, dtype=np.int64)] * size
+            for j, q in enumerate(dests):
+                parts[int(q)] = grouped[bounds[j] : bounds[j + 1]]
             received = yield from comm.alltoall(parts)
         else:
             # Mapping unknown: broadcast the new fringe to all processors.

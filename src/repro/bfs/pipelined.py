@@ -99,12 +99,19 @@ def pipelined_bfs_program(
             if cfg.owner_known:
                 owners = owner_of(new)
                 visited.mark_many(new[owners != rank], levcnt)
-                for q in range(size):
-                    part = new[owners == q]
-                    if len(part):
-                        buffers[q].extend(part)
-                        if len(buffers[q]) >= threshold:
-                            flush(q)
+                # Group vertices by destination in one stable sort instead of
+                # size passes of boolean masking; destinations are visited in
+                # ascending rank order, matching the original loop's flush
+                # order exactly.
+                order = np.argsort(owners, kind="stable")
+                grouped = new[order]
+                dests, starts = np.unique(owners[order], return_index=True)
+                bounds = np.append(starts, len(grouped))
+                for j, q in enumerate(dests):
+                    q = int(q)
+                    buffers[q].extend(grouped[bounds[j] : bounds[j + 1]])
+                    if len(buffers[q]) >= threshold:
+                        flush(q)
             else:
                 # Unknown mapping: every chunk goes to everyone (broadcast),
                 # and is transferred to local storage as well (lines 20–22).

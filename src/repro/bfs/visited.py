@@ -36,8 +36,7 @@ class VisitedLevels:
         self.store.set(vertex, level)
 
     def mark_many(self, vertices, level: int) -> None:
-        for v in np.asarray(vertices, dtype=np.int64):
-            self.store.set(int(v), level)
+        self.store.set_many(np.asarray(vertices, dtype=np.int64), int(level))
 
     def unvisited(self, vertices) -> np.ndarray:
         """Subset of ``vertices`` with level still at infinity."""
@@ -53,12 +52,6 @@ class InMemoryVisited(VisitedLevels):
 
     def __init__(self):
         super().__init__(InMemoryMetadata())
-
-    def mark_many(self, vertices, level: int) -> None:
-        values = self.store._values
-        lvl = int(level)
-        for v in np.asarray(vertices, dtype=np.int64):
-            values[int(v)] = lvl
 
 
 class ExternalVisited(VisitedLevels):

@@ -13,7 +13,7 @@ writes to a multi-copy consumer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..util.errors import ConfigError

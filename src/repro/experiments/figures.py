@@ -109,12 +109,24 @@ def fig_5_3(scale: float = 1.0, num_backends: int = 16, render: bool = True):
     return (series, text) if render else series
 
 
-def fig_5_4(scale: float = 1.0, num_queries: int = 12, num_backends: int = 16, render: bool = True):
-    """Fig 5.4: search time of five GraphDBs vs path length, PubMed-S."""
+def fig_5_4(
+    scale: float = 1.0,
+    num_queries: int = 12,
+    num_backends: int = 16,
+    render: bool = True,
+    batch_io: bool = False,
+):
+    """Fig 5.4: search time of five GraphDBs vs path length, PubMed-S.
+
+    ``batch_io=True`` reruns the figure with batched/coalescing fringe
+    expansion enabled (identical results, different access plan) — the
+    configuration the batch-I/O ablation compares against this default.
+    """
     series: dict[str, dict[int, float]] = {}
     for backend in FIVE_BACKENDS:
         res = run_search_experiment(
-            PUBMED_S, Deployment(backend=backend, num_backends=num_backends),
+            PUBMED_S,
+            Deployment(backend=backend, num_backends=num_backends, batch_io=batch_io),
             scale=scale, num_queries=num_queries,
         )
         series[backend] = res.seconds_by_distance

@@ -92,6 +92,11 @@ class Deployment:
     cache_enabled: bool = True
     window_size: int = 2048
     growth_policy: str = "link"
+    #: Batched/coalescing fringe expansion.  Defaults *off* here — the
+    #: chapter-5 figures reproduce the paper's prototype, which expanded
+    #: the fringe one adjacency request at a time; the batch-I/O ablation
+    #: (``bench_ablation_batchio``) flips this on explicitly.
+    batch_io: bool = False
 
 
 @dataclass
@@ -150,6 +155,7 @@ def build_and_ingest(
             cache_blocks=cache_blocks,
             grdb_format=scaled_grdb_format(),
             growth_policy=deployment.growth_policy,
+            batch_io=deployment.batch_io,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )

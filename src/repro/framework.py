@@ -57,6 +57,9 @@ class MSSGConfig:
     cache_blocks: int = 256
     grdb_format: GrDBFormat | None = None
     growth_policy: str = "link"
+    #: Batched/coalescing fringe expansion (``False`` = the paper
+    #: prototype's per-vertex adjacency loop; results are identical).
+    batch_io: bool = True
     node_spec: NodeSpec = field(default_factory=NodeSpec)
     storage_dir: str | None = None
     ascii_input: bool = True
@@ -103,6 +106,7 @@ class MSSG:
                     cache_blocks=cfg.cache_blocks,
                     grdb_format=cfg.grdb_format,
                     growth_policy=cfg.growth_policy,
+                    batch_io=cfg.batch_io,
                 )
             )
         self.ingestion = IngestionService(

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..simcluster.disk import BlockDevice
 from ..storage.kvstore import KVStore, encode_key_u64_u32, encode_u64
+from ..util.longarray import LongArray
 from .interface import GraphDB
 
 __all__ = ["BerkeleyGraphDB", "CHUNK_BYTES", "CHUNK_ENTRIES"]
@@ -99,6 +100,51 @@ class BerkeleyGraphDB(GraphDB):
         if not chunks:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(chunks)
+
+    #: Below this many distinct fringe vertices, batched expansion does
+    #: sorted point lookups; at or above it, one range scan over the B-tree
+    #: leaf chain amortizes the root-to-leaf descents across the fringe.
+    BATCH_SCAN_MIN = 32
+
+    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
+        """Batch adjacency lookups in sorted key order through the B-tree.
+
+        The fringe's ``(vertex, chunk)`` keys are visited in ascending
+        order, so consecutive lookups land on the same or neighboring
+        leaves (page-cache locality) instead of re-descending into random
+        subtrees; dense fringes upgrade to a single leaf-chain range scan
+        between the smallest and largest wanted key.  Results are emitted
+        per vertex in original fringe order with chunks ascending —
+        byte-identical to the per-vertex path.
+        """
+        fringe = np.asarray(vertices, dtype=np.int64)
+        if not self.batch_io or len(fringe) == 0:
+            super().expand_fringe(fringe, adjlist)
+            return
+        wanted = np.unique(fringe)
+        found: dict[int, list[np.ndarray]] = {}
+        if len(wanted) >= self.BATCH_SCAN_MIN:
+            lo = encode_key_u64_u32(int(wanted[0]), 0)
+            hi = encode_u64(int(wanted[-1]) + 1)
+            wset = set(int(v) for v in wanted)
+            for key, value in self.store.cursor(lo, hi):
+                vertex = int.from_bytes(key[:8], "big")
+                if vertex in wset:
+                    found.setdefault(vertex, []).append(self._unpack(value))
+        else:
+            for v in wanted:
+                chunks = [self._unpack(val) for _, val in self.store.prefix(encode_u64(int(v)))]
+                if chunks:
+                    found[int(v)] = chunks
+        for v in fringe:
+            chunks = found.get(int(v))
+            self.stats.adjacency_requests += 1
+            if not chunks:
+                continue
+            neighbors = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            self.stats.edges_scanned += len(neighbors)
+            self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
+            adjlist.extend(neighbors)
 
     def local_vertices(self) -> np.ndarray:
         seen = []

@@ -18,10 +18,9 @@ abandoned sub-blocks return to the per-level free lists.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .db import GrDB
-from .format import EMPTY_SLOT, encode_pointer
+from .format import encode_pointer
 
 __all__ = ["defragment_vertex", "defragment", "chain_length"]
 

@@ -22,7 +22,7 @@ From §3.4.1 and §4.1.6 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
 from ..util.errors import ConfigError
 
 __all__ = ["IdMap", "IdentityMap", "ModuloMap"]
@@ -26,6 +28,25 @@ class IdMap(abc.ABC):
     @abc.abstractmethod
     def to_global(self, local: int) -> int: ...
 
+    def to_local_many(self, gids) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`to_local` over an id array.
+
+        Returns ``(locals, owned)``: local slots (int64, -1 where not owned)
+        and a boolean ownership mask.  The default loops; both concrete maps
+        override with pure-numpy arithmetic so batched fringe planning never
+        pays a per-vertex exception-handling round trip.
+        """
+        gids = np.asarray(gids, dtype=np.int64)
+        locals_ = np.full(len(gids), -1, dtype=np.int64)
+        owned = np.zeros(len(gids), dtype=bool)
+        for i, gid in enumerate(gids):
+            try:
+                locals_[i] = self.to_local(int(gid))
+                owned[i] = True
+            except ConfigError:
+                pass
+        return locals_, owned
+
 
 class IdentityMap(IdMap):
     """Local slot == global id (single-node layout)."""
@@ -35,6 +56,10 @@ class IdentityMap(IdMap):
 
     def to_global(self, local: int) -> int:
         return int(local)
+
+    def to_local_many(self, gids) -> tuple[np.ndarray, np.ndarray]:
+        gids = np.asarray(gids, dtype=np.int64)
+        return gids.copy(), np.ones(len(gids), dtype=bool)
 
 
 class ModuloMap(IdMap):
@@ -54,6 +79,12 @@ class ModuloMap(IdMap):
 
     def to_global(self, local: int) -> int:
         return int(local) * self.nparts + self.rank
+
+    def to_local_many(self, gids) -> tuple[np.ndarray, np.ndarray]:
+        gids = np.asarray(gids, dtype=np.int64)
+        owned = gids % self.nparts == self.rank
+        locals_ = np.where(owned, gids // self.nparts, -1)
+        return locals_, owned
 
     def owns(self, gid: int) -> bool:
         return int(gid) % self.nparts == self.rank

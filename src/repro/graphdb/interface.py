@@ -27,7 +27,7 @@ default per-vertex loop.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -85,11 +85,19 @@ class GraphDB(abc.ABC):
         clock: VirtualClock | None = None,
         cpu: CpuProfile | None = None,
         metadata: MetadataStore | None = None,
+        batch_io: bool = True,
     ):
         self.clock = clock if clock is not None else VirtualClock()
         self.cpu = cpu if cpu is not None else CpuProfile()
         self.metadata = metadata if metadata is not None else InMemoryMetadata()
         self.stats = GraphDBStats()
+        #: Use the batched/coalescing fringe expansion path where a backend
+        #: has one (grDB, BerkeleyDB, MySQL).  ``False`` restores the
+        #: per-vertex loop of the paper's prototype — the configuration the
+        #: chapter-5 reproduction figures measure.  Both paths return
+        #: byte-identical adjacency lists; only the access plan (and thus
+        #: virtual time) differs.
+        self.batch_io = batch_io
 
     # -- paper interface ----------------------------------------------------
 

@@ -37,6 +37,11 @@ class MetadataStore(abc.ABC):
         vs = np.asarray(vertices, dtype=np.int64)
         return np.array([self.get(int(v)) for v in vs], dtype=np.int64)
 
+    def set_many(self, vertices, value: int) -> None:
+        """Vectorized scatter of one value; default loops over :meth:`set`."""
+        for v in np.asarray(vertices, dtype=np.int64):
+            self.set(int(v), value)
+
     def clear(self) -> None:
         """Reset every vertex to :data:`UNSET`."""
         raise NotImplementedError
@@ -60,6 +65,11 @@ class InMemoryMetadata(MetadataStore):
         return np.fromiter(
             (values.get(int(v), UNSET) for v in vs), dtype=np.int64, count=len(vs)
         )
+
+    def set_many(self, vertices, value: int) -> None:
+        vs = np.asarray(vertices, dtype=np.int64).ravel()
+        value = int(value)
+        self._values.update(zip(vs.tolist(), (value,) * len(vs)))
 
     def clear(self) -> None:
         self._values.clear()
@@ -126,6 +136,26 @@ class ExternalMetadata(MetadataStore):
             slot = int(vs[idx] % self.VALUES_PER_PAGE)
             out[idx] = struct.unpack_from(">i", data, slot * 4)[0]
         return out
+
+    def set_many(self, vertices, value: int) -> None:
+        vs = np.asarray(vertices, dtype=np.int64)
+        if len(vs) == 0:
+            return
+        # Group by page so each dirty page is read and re-put once per call,
+        # regardless of how many of its slots the fringe touches.
+        pages = vs // self.VALUES_PER_PAGE
+        order = np.argsort(pages, kind="stable")
+        current_page, buf = -1, None
+        for idx in order:
+            page_no = int(pages[idx])
+            if page_no != current_page:
+                if buf is not None:
+                    self.cache.put(current_page, bytes(buf), dirty=True)
+                buf = bytearray(self._read_page(page_no))
+                current_page = page_no
+            slot = int(vs[idx] % self.VALUES_PER_PAGE)
+            struct.pack_into(">i", buf, slot * 4, int(value))
+        self.cache.put(current_page, bytes(buf), dirty=True)
 
     def flush(self) -> None:
         self.cache.flush()

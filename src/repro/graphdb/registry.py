@@ -35,15 +35,18 @@ def make_graphdb(
     cache_blocks: int = 256,
     grdb_format: GrDBFormat | None = None,
     growth_policy: str = "link",
+    batch_io: bool = True,
     **extra: Any,
 ) -> GraphDB:
     """Instantiate ``backend`` on ``node``.
 
     ``cache_blocks`` sizes the internal block/page cache of the out-of-core
     backends (0 disables caching, the Figure 5.2 ablation); ``id_map`` is
-    forwarded to grDB for declustered level-0 addressing.
+    forwarded to grDB for declustered level-0 addressing; ``batch_io``
+    selects the batched/coalescing fringe-expansion path (``False`` keeps
+    the paper prototype's per-vertex loop).
     """
-    common = dict(clock=node.clock, cpu=node.spec.cpu, **extra)
+    common = dict(clock=node.clock, cpu=node.spec.cpu, batch_io=batch_io, **extra)
     if backend == "Array":
         return ArrayGraphDB(**common)
     if backend == "HashMap":

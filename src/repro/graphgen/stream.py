@@ -10,8 +10,7 @@ charges ASCII parsing CPU cost accordingly.
 from __future__ import annotations
 
 import io
-import struct
-from typing import Iterable, Iterator
+from typing import Iterator
 
 import numpy as np
 

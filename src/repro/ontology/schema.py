@@ -10,7 +10,7 @@ vertices may not connect directly to 'Person' vertices — only through a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..util.errors import OntologyError
 

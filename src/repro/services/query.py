@@ -15,10 +15,9 @@ of Figure 3.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
-import numpy as np
 
 from ..bfs import (
     BFSConfig,

@@ -97,6 +97,12 @@ class CpuProfile:
     compare_seconds: float = 4e-9  # one key comparison inside an index
     btree_page_seconds: float = 7.5e-6  # parse + binary-search one B-tree page
     grdb_subblock_seconds: float = 5.5e-6  # address + decode one grDB sub-block
+    #: Marginal cost of one additional sub-block resolved from a block that a
+    #: batched fringe expansion has already decoded: the address arithmetic is
+    #: done once per planned batch and the block's slots are parsed in one
+    #: pass, so each extra sub-block pays only a bounds-checked slot gather
+    #: (the FlashGraph/GraphMP request-merging effect on the CPU side).
+    grdb_batch_subblock_seconds: float = 1.2e-6
     row_parse_seconds: float = 2e-6  # deserialize one relational row
     sql_statement_seconds: float = 9e-5  # parse/plan/round-trip per statement
     ascii_parse_seconds: float = 3.5e-7  # parse one ASCII edge during ingest

@@ -25,6 +25,9 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     writebacks: int = 0
+    #: Blocks pulled in ahead of demand by a batched prefetch planner
+    #: (``GrDBStorage.prefetch_blocks``); a subset of ``misses``.
+    prefetched: int = 0
 
     @property
     def accesses(self) -> int:

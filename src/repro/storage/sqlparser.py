@@ -10,7 +10,7 @@ parameter binding.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from ..util.errors import SqlError

@@ -1,0 +1,195 @@
+"""Edge-case tests for LRUBlockCache and the coalesced grDB read path.
+
+Complements ``test_pagedfile_cache.py`` with the behaviors the batched
+fringe I/O path leans on: multi-block eviction order, flush idempotence
+under interleaved dirtying, capacity-0 pass-through with dirty puts, and
+the hit/miss/prefetched accounting of ``GrDBStorage.read_block_batch`` /
+``prefetch_blocks``.
+"""
+
+import pytest
+
+from repro.graphdb.grdb import GrDBFormat
+from repro.graphdb.grdb.storage import GrDBStorage
+from repro.simcluster import NodeSpec, SimNode
+from repro.storage import LRUBlockCache
+
+FMT = GrDBFormat(
+    capacities=(2, 4),
+    block_sizes=(256, 256),
+    max_file_bytes=1024,  # 4 blocks per file: block 4+ spills to file 1
+)
+
+
+def make_storage(cache_blocks: int = 64) -> GrDBStorage:
+    node = SimNode(0, NodeSpec())
+    return GrDBStorage(FMT, node.disk, cache_blocks=cache_blocks)
+
+
+def filled_subblock(fill: int) -> bytes:
+    return bytes([fill]) * FMT.subblock_bytes(0)
+
+
+class TestLRUEdgeCases:
+    def test_eviction_writes_back_in_lru_order(self):
+        written = []
+        c = LRUBlockCache(2, writer=lambda k, v: written.append(k))
+        c.put("a", b"1", dirty=True)
+        c.put("b", b"2", dirty=True)
+        c.put("c", b"3")  # evicts a
+        c.put("d", b"4")  # evicts b
+        assert written == ["a", "b"]
+        assert c.stats.evictions == 2 and c.stats.writebacks == 2
+
+    def test_flush_idempotent_until_redirtied(self):
+        written = []
+        c = LRUBlockCache(4, writer=lambda k, v: written.append((k, v)))
+        c.put("a", b"1", dirty=True)
+        c.flush()
+        c.flush()
+        assert written == [("a", b"1")]
+        c.put("a", b"2", dirty=True)
+        c.flush()
+        assert written == [("a", b"1"), ("a", b"2")]
+
+    def test_zero_capacity_every_dirty_put_passes_through(self):
+        written = []
+        c = LRUBlockCache(0, writer=lambda k, v: written.append((k, v)))
+        for i in range(3):
+            c.put("k", bytes([i]), dirty=True)
+        assert written == [("k", b"\x00"), ("k", b"\x01"), ("k", b"\x02")]
+        assert c.get("k") is None and len(c) == 0
+        c.flush()  # nothing retained, nothing to flush
+        assert len(written) == 3
+
+    def test_refresh_on_overwrite_protects_from_eviction(self):
+        c = LRUBlockCache(2)
+        c.put("a", b"1")
+        c.put("b", b"2")
+        c.put("a", b"3")  # overwrite refreshes recency; b is now LRU
+        c.put("c", b"4")
+        assert "a" in c and "b" not in c
+
+
+class TestCoalescedReads:
+    def _write_blocks(self, st: GrDBStorage, blocks) -> None:
+        k = FMT.subblocks_per_block(0)
+        for b in blocks:
+            st.write_subblock(0, b * k, filled_subblock(b + 1))
+
+    def test_batch_counts_one_miss_per_cold_block(self):
+        st = make_storage()
+        self._write_blocks(st, [0, 1, 2])
+        st.flush()
+        st.cache.clear()
+        before = st.cache.stats.misses
+        out = st.read_block_batch(0, [0, 1, 2])
+        assert sorted(out) == [0, 1, 2]
+        assert st.cache.stats.misses - before == 3
+
+    def test_batch_hits_on_second_pass(self):
+        st = make_storage()
+        self._write_blocks(st, [0, 1])
+        st.read_block_batch(0, [0, 1])
+        before_hits, before_misses = st.cache.stats.hits, st.cache.stats.misses
+        st.read_block_batch(0, [0, 1])
+        assert st.cache.stats.hits - before_hits == 2
+        assert st.cache.stats.misses == before_misses
+
+    def test_adjacent_cold_blocks_fetch_as_one_device_read(self):
+        st = make_storage()
+        self._write_blocks(st, [0, 1, 2, 3])
+        st.flush()
+        st.cache.clear()
+        dev = st._device(0, 0)
+        before = dev.stats.reads
+        st.read_block_batch(0, [0, 1, 2, 3])
+        assert dev.stats.reads - before == 1  # one coalesced run, not four
+
+    def test_gap_splits_runs(self):
+        st = make_storage()
+        self._write_blocks(st, [0, 1, 3])
+        st.flush()
+        st.cache.clear()
+        dev = st._device(0, 0)
+        before = dev.stats.reads
+        st.read_block_batch(0, [0, 1, 3])
+        assert dev.stats.reads - before == 2  # run [0,1] and run [3]
+
+    def test_batch_spans_files(self):
+        st = make_storage()
+        self._write_blocks(st, [3, 4])  # block 4 lives in file 1
+        st.flush()
+        st.cache.clear()
+        out = st.read_block_batch(0, [3, 4])
+        k = FMT.subblocks_per_block(0)
+        assert out[3][: FMT.subblock_bytes(0)] == filled_subblock(4)
+        assert out[4][: FMT.subblock_bytes(0)] == filled_subblock(5)
+        assert len(st._files) >= 2
+
+    def test_never_written_blocks_skip_the_device(self):
+        st = make_storage()
+        dev = st._device(0, 0)
+        before = dev.stats.reads
+        out = st.read_block_batch(0, [0, 1])
+        assert all(data == FMT.empty_block(0) for data in out.values())
+        assert dev.stats.reads == before
+
+    def test_batch_matches_single_reads(self):
+        st = make_storage()
+        self._write_blocks(st, [0, 2, 3])
+        st.flush()
+        st.cache.clear()
+        batch = st.read_block_batch(0, [3, 0, 2, 1])
+        st2 = make_storage()
+        self._write_blocks(st2, [0, 2, 3])
+        st2.flush()
+        st2.cache.clear()
+        for b in (0, 1, 2, 3):
+            assert batch[b] == st2._read_block(0, b)
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_counts_cold_blocks_only(self):
+        st = make_storage()
+        k = FMT.subblocks_per_block(0)
+        for b in range(3):
+            st.write_subblock(0, b * k, filled_subblock(b + 1))
+        st.flush()
+        st.cache.clear()
+        st._read_block(0, 1)  # warm one block by demand
+        n = st.prefetch_blocks(0, [0, 1, 2])
+        assert n == 3  # the plan covers all three blocks...
+        assert st.cache.stats.prefetched == 2  # ...but only two were cold
+
+    def test_prefetch_idempotent(self):
+        st = make_storage()
+        k = FMT.subblocks_per_block(0)
+        st.write_subblock(0, 0, filled_subblock(1))
+        st.write_subblock(0, k, filled_subblock(2))
+        st.flush()
+        st.cache.clear()
+        assert st.prefetch_blocks(0, [0, 1]) == 2
+        assert st.cache.stats.prefetched == 2
+        assert st.prefetch_blocks(0, [0, 1]) == 2  # plan unchanged
+        assert st.cache.stats.prefetched == 2  # nothing new fetched
+
+    def test_prefetch_empty_plan(self):
+        st = make_storage()
+        assert st.prefetch_blocks(0, []) == 0
+        assert st.cache.stats.prefetched == 0
+
+    def test_prefetched_blocks_hit_on_demand(self):
+        st = make_storage()
+        k = FMT.subblocks_per_block(0)
+        st.write_subblock(0, 0, filled_subblock(7))
+        st.flush()
+        st.cache.clear()
+        st.prefetch_blocks(0, [0])
+        hits_before = st.cache.stats.hits
+        st.read_subblock(0, 0)
+        assert st.cache.stats.hits == hits_before + 1
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
