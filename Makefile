@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+test-faults:  # fault injection / failover suite, warnings promoted to errors
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_fault_paths.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

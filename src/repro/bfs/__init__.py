@@ -1,5 +1,6 @@
 """Parallel out-of-core BFS (Algorithms 1 and 2) and supporting structures."""
 
+from .failover import FaultTolerance, FTState, failover_rounds, route_to_replicas, try_expand
 from .oocbfs import NOT_FOUND, BFSConfig, BFSRankResult, oocbfs_program
 from .pipelined import pipelined_bfs_program
 from .sequential import bfs_distance, bfs_levels, sample_queries_by_distance
@@ -9,10 +10,15 @@ __all__ = [
     "BFSConfig",
     "BFSRankResult",
     "ExternalVisited",
+    "FTState",
+    "FaultTolerance",
     "INFINITY",
     "InMemoryVisited",
     "NOT_FOUND",
     "VisitedLevels",
+    "failover_rounds",
+    "route_to_replicas",
+    "try_expand",
     "bfs_distance",
     "bfs_levels",
     "oocbfs_program",

@@ -1,0 +1,202 @@
+"""Query-side fault tolerance: replica routing and fringe-shard failover.
+
+MSSG's Algorithms 1 and 2 assume every back-end's disk answers every
+expand.  This module relaxes that: with k-replica rotational declustering
+(:class:`~repro.services.declustering.ReplicatedDeclusterer`) the partition
+whose primary owner is rank ``q`` also lives on ranks ``q+1 .. q+k-1``
+(mod p), so when a device dies mid-query the coordinator logic below
+re-expands the dead rank's fringe shard on a surviving replica.
+
+The protocol is collective and level-synchronous, which keeps the
+simulation deterministic and deadlock-free:
+
+1. every rank expands its shard through :func:`try_expand`, which converts
+   a :class:`~repro.util.errors.DeviceFailedError` (or an expansion
+   exceeding the per-attempt virtual-time timeout) into "this rank is dead,
+   its shard is pending";
+2. :func:`failover_rounds` then runs bounded retry rounds — each round is
+   one allgather announcing deaths and pending shards, after which every
+   rank deterministically computes which pending vertices it is the first
+   surviving replica for, and re-expands them;
+3. a shard whose whole replica chain is dead (or that outlives the retry
+   budget) is *dropped*: the query degrades to a partial result, flagged on
+   the rank result and ultimately on the ``QueryReport``.
+
+Once a death is known, :func:`route_to_replicas` steers all further fringe
+routing straight to the first surviving replica, so a failure costs one
+retry round rather than one per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..util.errors import DeviceFailedError
+from ..util.longarray import LongArray
+
+__all__ = [
+    "FaultTolerance",
+    "FTState",
+    "try_expand",
+    "route_to_replicas",
+    "failover_rounds",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Degraded-mode knobs carried on :class:`~repro.bfs.BFSConfig`.
+
+    ``None`` in ``BFSConfig.ft`` disables the protocol entirely (the
+    pre-replication code path, with zero extra communication).
+    """
+
+    #: Copies of each adjacency partition (must match ingestion-side
+    #: replication; 1 means failures can only degrade, never fail over).
+    replication: int = 1
+    #: Failover rounds attempted per BFS level before degrading.
+    max_retries: int = 2
+    #: Per-attempt expand budget in virtual seconds; an attempt that costs
+    #: more is treated like a device failure (straggler demotion).
+    #: ``None`` disables the timeout.
+    attempt_timeout: float | None = None
+
+
+@dataclass
+class FTState:
+    """Per-rank fault bookkeeping for one BFS run."""
+
+    cfg: FaultTolerance
+    size: int
+    #: Ranks known (cluster-wide) to no longer serve expansions.
+    dead: set = field(default_factory=set)
+    self_dead: bool = False
+    device_failed: bool = False  # own device raised DeviceFailedError
+    timed_out: bool = False  # own expand blew the per-attempt timeout
+    failovers: int = 0  # shards this rank re-expanded for dead peers
+    dropped: int = 0  # fringe vertices whose adjacency was lost
+    partial: bool = False
+
+
+def try_expand(ctx, db, cfg, vertices, ft: FTState, prefetch: bool = False):
+    """Expand ``vertices`` locally; ``None`` means this rank cannot serve.
+
+    Converts an injected device failure — or an attempt that exceeds the
+    per-attempt virtual-time budget — into the sticky ``self_dead`` state.
+    A timed-out attempt's results are discarded (its virtual time stays
+    charged: the work happened, the coordinator just stopped waiting),
+    mirroring how a straggling disk looks indistinguishable from a dead one
+    from the query's side.
+    """
+    if ft.self_dead:
+        return None
+    start = ctx.clock.now
+    out = LongArray()
+    try:
+        if prefetch:
+            db.prefetch_fringe(vertices)
+        db.expand_fringe(vertices, out)
+    except DeviceFailedError:
+        ft.self_dead = True
+        ft.device_failed = True
+        return None
+    timeout = ft.cfg.attempt_timeout
+    if timeout is not None and ctx.clock.now - start > timeout:
+        ft.self_dead = True
+        ft.timed_out = True
+        return None
+    return out.view()
+
+
+def route_to_replicas(owners, ft: FTState) -> np.ndarray:
+    """Map primary owners to the first surviving rank of each replica chain.
+
+    Returns an int64 route array; ``-1`` marks vertices whose entire chain
+    ``{owner + j (mod size) : j < replication}`` is dead (their adjacency
+    is unreachable — the caller drops them and flags a partial result).
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    routes = owners.copy()
+    if not ft.dead or not len(owners):
+        return routes
+    dead = np.fromiter(ft.dead, count=len(ft.dead), dtype=np.int64)
+    down = np.isin(routes, dead)
+    for j in range(1, ft.cfg.replication):
+        if not down.any():
+            return routes
+        routes[down] = (owners[down] + j) % ft.size
+        down = np.isin(routes, dead)
+    routes[down] = -1
+    return routes
+
+
+def failover_rounds(ctx, db, cfg, ft: FTState, pending, owner_of):
+    """Collective per-level failover; returns neighbors recovered here.
+
+    Every rank (healthy or dead) must call this at the same point of each
+    level.  ``pending`` is this rank's unexpanded fringe shard (empty when
+    healthy); ``owner_of`` maps vertices to primary owners, or ``None`` in
+    broadcast mode (unknown mapping), where replicas have already expanded
+    the full fringe against their copies and only coverage is checked.
+
+    Each round costs one allgather.  The loop's control flow depends only
+    on globally agreed data (the gathered posts and the shared round
+    budget), so all ranks execute the same number of collectives.
+    """
+    comm = ctx.comm
+    gathered = []
+    rounds = 0
+    pending = np.asarray(pending, dtype=np.int64)
+    while True:
+        posts = yield from comm.allgather((ft.self_dead, pending))
+        for q, (is_dead, _) in enumerate(posts):
+            if is_dead:
+                ft.dead.add(q)
+        shards = [
+            (q, np.asarray(s, dtype=np.int64)) for q, (_, s) in enumerate(posts) if len(s)
+        ]
+        pending = _EMPTY
+        if not shards:
+            break
+        if owner_of is None:
+            # Broadcast mode: every rank expanded the full fringe already,
+            # so a dead rank's shard is covered whenever any member of its
+            # replica chain is alive; nothing needs re-sending.
+            for q, shard in shards:
+                chain = [(q + j) % ft.size for j in range(ft.cfg.replication)]
+                alive = [r for r in chain if r not in ft.dead]
+                if alive:
+                    if comm.rank == alive[0]:
+                        ft.failovers += 1
+                else:
+                    ft.dropped += len(shard)
+                    ft.partial = True
+            break
+        if rounds >= ft.cfg.max_retries:
+            # Retry budget exhausted: degrade instead of looping forever.
+            for _, shard in shards:
+                ft.dropped += len(shard)
+            ft.partial = True
+            break
+        rounds += 1
+        mine = []
+        for _, shard in shards:
+            routes = route_to_replicas(owner_of(shard), ft)
+            mine.append(shard[routes == comm.rank])
+            lost = int((routes == -1).sum())
+            if lost:
+                ft.dropped += lost
+                ft.partial = True
+        mine = np.concatenate(mine) if mine else _EMPTY
+        if len(mine):
+            ft.failovers += 1
+            recovered = try_expand(ctx, db, cfg, mine, ft, prefetch=cfg.prefetch)
+            if recovered is None:
+                pending = mine  # this replica died too; next round re-routes
+            elif len(recovered):
+                gathered.append(recovered)
+    return np.concatenate(gathered) if gathered else _EMPTY

@@ -29,6 +29,7 @@ import numpy as np
 from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
 from ..util.longarray import LongArray
+from .failover import FaultTolerance, FTState, failover_rounds, route_to_replicas, try_expand
 from .visited import VisitedLevels
 
 __all__ = ["BFSConfig", "BFSRankResult", "oocbfs_program"]
@@ -48,6 +49,10 @@ class BFSConfig:
     #: Prefetch fringe adjacency storage (offset-sorted) before expanding
     #: each level — the paper's §4.2 future-work optimization.
     prefetch: bool = False
+    #: Fault-tolerance knobs (replication factor, retry budget, per-attempt
+    #: timeout).  ``None`` disables the failover protocol entirely and runs
+    #: the original algorithms with zero extra communication.
+    ft: FaultTolerance | None = None
 
 
 @dataclass
@@ -59,6 +64,14 @@ class BFSRankResult:
     edges_scanned: int = 0
     fringe_vertices: int = 0
     seconds: float = 0.0
+    #: Fringe shards this rank re-expanded on behalf of dead peers.
+    failovers: int = 0
+    #: Fringe vertices whose adjacency was unreachable (all replicas dead).
+    dropped_vertices: int = 0
+    #: This rank's own device raised :class:`DeviceFailedError` mid-query.
+    device_failed: bool = False
+    #: Some adjacency was never expanded — treat the result as a lower bound.
+    partial: bool = False
 
 
 def _merge_found(a: tuple[bool, int], b: tuple[bool, int]) -> tuple[bool, int]:
@@ -87,6 +100,7 @@ def oocbfs_program(
     result = BFSRankResult()
     start_time = ctx.clock.now
     edges_before = db.stats.edges_scanned
+    ft = FTState(cfg.ft, size) if cfg.ft is not None else None
 
     if cfg.source == cfg.dest:
         result.found_level = 0
@@ -99,13 +113,25 @@ def oocbfs_program(
 
     while True:
         levcnt += 1
-        if cfg.prefetch:
-            db.prefetch_fringe(fringe)
-        # Expand: adj_Gi(v) for every fringe vertex; non-local vertices
-        # contribute the empty set through the GraphDB contract.
-        out = LongArray()
-        db.expand_fringe(fringe, out)
-        neighbors = out.view()
+        if ft is None:
+            if cfg.prefetch:
+                db.prefetch_fringe(fringe)
+            # Expand: adj_Gi(v) for every fringe vertex; non-local vertices
+            # contribute the empty set through the GraphDB contract.
+            out = LongArray()
+            db.expand_fringe(fringe, out)
+            neighbors = out.view()
+        else:
+            # Fault-tolerant expand: a device failure (or timeout) turns this
+            # rank's whole shard into ``pending``, which the collective
+            # failover rounds re-expand on a surviving replica.
+            expanded = try_expand(ctx, db, cfg, fringe, ft, prefetch=cfg.prefetch)
+            pending = fringe if expanded is None else np.empty(0, dtype=np.int64)
+            extra = yield from failover_rounds(
+                ctx, db, cfg, ft, pending, owner_of if cfg.owner_known else None
+            )
+            pieces = [a for a in (expanded, extra) if a is not None and len(a)]
+            neighbors = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
         found_here = bool(len(neighbors)) and bool(np.any(neighbors == cfg.dest))
 
         candidates = np.unique(neighbors) if len(neighbors) else neighbors
@@ -113,6 +139,17 @@ def oocbfs_program(
 
         if cfg.owner_known:
             owners = owner_of(new)
+            if ft is not None and ft.dead:
+                # Steer vertices owned by dead ranks straight to their first
+                # surviving replica; drop those whose whole chain is gone.
+                owners = route_to_replicas(owners, ft)
+                lost = owners == -1
+                if lost.any():
+                    ft.dropped += int(lost.sum())
+                    ft.partial = True
+                    visited.mark_many(new[lost], levcnt)
+                    new = new[~lost]
+                    owners = owners[~lost]
             # Sender-side marking (line 14) for vertices we hand off; our
             # own discoveries are marked on receipt like everyone else's.
             remote = new[owners != rank]
@@ -153,4 +190,9 @@ def oocbfs_program(
 
     result.edges_scanned = db.stats.edges_scanned - edges_before
     result.seconds = ctx.clock.now - start_time
+    if ft is not None:
+        result.failovers = ft.failovers
+        result.dropped_vertices = ft.dropped
+        result.device_failed = ft.device_failed
+        result.partial = ft.partial
     return result

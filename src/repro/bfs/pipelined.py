@@ -20,7 +20,9 @@ import numpy as np
 
 from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
+from ..util.errors import DeviceFailedError
 from ..util.longarray import LongArray
+from .failover import FTState, failover_rounds, route_to_replicas, try_expand
 from .oocbfs import BFSConfig, BFSRankResult, _merge_found
 from .visited import VisitedLevels
 
@@ -52,6 +54,7 @@ def pipelined_bfs_program(
     result = BFSRankResult()
     start_time = ctx.clock.now
     edges_before = db.stats.edges_scanned
+    ft = FTState(cfg.ft, size) if cfg.ft is not None else None
 
     if cfg.source == cfg.dest:
         result.found_level = 0
@@ -84,13 +87,31 @@ def pipelined_bfs_program(
                 sent_chunks[q] += 1
             buffers[q].clear()
 
-        if cfg.prefetch:
-            db.prefetch_fringe(fringe)
+        pending = np.empty(0, dtype=np.int64)
+        if cfg.prefetch and (ft is None or not ft.self_dead):
+            try:
+                db.prefetch_fringe(fringe)
+            except DeviceFailedError:
+                if ft is None:
+                    raise
+                ft.self_dead = True
+                ft.device_failed = True
         for batch_start in range(0, max(len(fringe), 1), poll_batch):
             batch = fringe[batch_start : batch_start + poll_batch]
-            out = LongArray()
-            db.expand_fringe(batch, out)
-            neighbors = out.view()
+            if ft is None:
+                out = LongArray()
+                db.expand_fringe(batch, out)
+                neighbors = out.view()
+            else:
+                neighbors = try_expand(ctx, db, cfg, batch, ft)
+                if neighbors is None:
+                    # Device died (or timed out) mid-level: the unexpanded
+                    # tail of the fringe goes to the failover rounds after
+                    # the level-end settle.  Skipping the remaining batches
+                    # (and their opportunistic drains) is safe — the settle
+                    # protocol below still receives every in-flight chunk.
+                    pending = fringe[batch_start:]
+                    break
             if len(neighbors) and np.any(neighbors == cfg.dest):
                 found_here = True
             candidates = np.unique(neighbors) if len(neighbors) else neighbors
@@ -98,6 +119,15 @@ def pipelined_bfs_program(
 
             if cfg.owner_known:
                 owners = owner_of(new)
+                if ft is not None and ft.dead:
+                    owners = route_to_replicas(owners, ft)
+                    lost = owners == -1
+                    if lost.any():
+                        ft.dropped += int(lost.sum())
+                        ft.partial = True
+                        visited.mark_many(new[lost], levcnt)
+                        new = new[~lost]
+                        owners = owners[~lost]
                 visited.mark_many(new[owners != rank], levcnt)
                 # Group vertices by destination in one stable sort instead of
                 # size passes of boolean masking; destinations are visited in
@@ -141,6 +171,37 @@ def pipelined_bfs_program(
                 msg = yield from comm.recv(source=q, tag=TAG_FRINGE_CHUNK)
                 absorb(np.asarray(msg.payload, dtype=np.int64), levcnt)
 
+        if ft is not None:
+            # Collective failover for any shard left unexpanded, then one
+            # synchronous exchange to route the recovered neighbors — the
+            # pipelined chunk protocol for this level has already settled,
+            # so recovered discoveries need their own (always-run, usually
+            # empty) exchange to keep the collective order rank-uniform.
+            extra = yield from failover_rounds(
+                ctx, db, cfg, ft, pending, owner_of if cfg.owner_known else None
+            )
+            if len(extra) and np.any(extra == cfg.dest):
+                found_here = True
+            fresh = visited.unvisited(np.unique(extra)) if len(extra) else extra
+            if cfg.owner_known:
+                routes = route_to_replicas(owner_of(fresh), ft)
+                lost = routes == -1
+                if lost.any():
+                    ft.dropped += int(lost.sum())
+                    ft.partial = True
+                    visited.mark_many(fresh[lost], levcnt)
+                    fresh = fresh[~lost]
+                    routes = routes[~lost]
+                visited.mark_many(fresh[routes != rank], levcnt)
+                parts = [fresh[routes == q] for q in range(size)]
+                recovered = yield from comm.alltoall(parts)
+            else:
+                recovered = yield from comm.allgather(fresh)
+            for r in recovered:
+                r = np.asarray(r, dtype=np.int64)
+                if len(r):
+                    absorb(r, levcnt)
+
         fringe = next_fringe.to_numpy()
         next_fringe.clear()
         result.fringe_vertices += len(fringe)
@@ -157,4 +218,9 @@ def pipelined_bfs_program(
 
     result.edges_scanned = db.stats.edges_scanned - edges_before
     result.seconds = ctx.clock.now - start_time
+    if ft is not None:
+        result.failovers = ft.failovers
+        result.dropped_vertices = ft.dropped
+        result.device_failed = ft.device_failed
+        result.partial = ft.partial
     return result

@@ -19,6 +19,7 @@ import numpy as np
 
 from . import experiments
 from .framework import MSSG, MSSGConfig
+from .simcluster import FaultPlan
 from .graphgen import (
     graph_stats,
     preferential_attachment,
@@ -94,20 +95,45 @@ def _cmd_search(args) -> int:
         num_frontends=args.frontends,
         backend=args.backend,
         declustering=args.declustering,
+        replication=args.replication,
     )
     with MSSG(config) as mssg:
         report = mssg.ingest(edges)
         print(
             f"ingested {report.edges_ingested:,} edges in {report.seconds:.4f} "
-            f"virtual s ({report.edges_per_second:,.0f} edges/s)"
+            f"virtual s ({report.edges_per_second:,.0f} edges/s"
+            + (f", {report.replication} replicas)" if report.replication > 1 else ")")
         )
+        if args.kill_backend is not None:
+            if not 0 <= args.kill_backend < args.backends:
+                print(f"--kill-backend must name a back-end in [0, {args.backends})")
+                return 2
+            # Installed after ingestion so the fault's virtual time is
+            # measured within each query run (clocks restart per run).
+            mssg.set_fault_plan(
+                FaultPlan.kill_node(
+                    args.frontends + args.kill_backend, at_time=args.kill_time
+                )
+            )
+            print(
+                f"fault injected: back-end {args.kill_backend} dies at "
+                f"t={args.kill_time:g}s of each query"
+            )
         for pair in args.query:
             s, d = (int(x) for x in pair.split(":"))
             answer = mssg.query_bfs(s, d, pipelined=args.pipelined)
             hops = answer.result if answer.result is not None else "unreachable"
+            notes = ""
+            if answer.failovers or answer.device_failures or answer.partial:
+                degraded = " PARTIAL (lower bound)" if answer.partial else ""
+                notes = (
+                    f"   !{degraded} device failures: {answer.device_failures}, "
+                    f"failovers: {answer.failovers}, "
+                    f"dropped vertices: {answer.dropped_vertices}"
+                )
             print(
                 f"distance({s} -> {d}) = {hops}   "
-                f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]"
+                f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]{notes}"
             )
     return 0
 
@@ -156,6 +182,25 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--frontends", type=int, default=1)
     q.add_argument("--declustering", default="vertex-rr")
     q.add_argument("--pipelined", action="store_true")
+    q.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        help="copies of each adjacency partition (rotational declustering)",
+    )
+    q.add_argument(
+        "--kill-backend",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="inject a fault: back-end Q's disks die during each query",
+    )
+    q.add_argument(
+        "--kill-time",
+        type=float,
+        default=0.0,
+        help="virtual seconds into each query at which the fault fires",
+    )
     q.set_defaults(func=_cmd_search)
 
     e = sub.add_parser("experiment", help="regenerate a paper table/figure")

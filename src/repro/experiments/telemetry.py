@@ -31,6 +31,10 @@ class NodeUtilization:
     seeks: int
     messages_sent: int
     bytes_sent: int
+    #: Injected faults that fired on this node's devices (fail or slow).
+    faults_fired: int = 0
+    #: Devices of this node currently in the hard-failed state.
+    failed_devices: int = 0
 
     @property
     def disk_utilization(self) -> float:
@@ -43,7 +47,7 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
     F = mssg.config.num_frontends
     contexts = {c.rank: c for c in mssg.cluster.last_contexts}
     for node in mssg.cluster.nodes:
-        busy = reads = writes = br = bw = seeks = 0
+        busy = reads = writes = br = bw = seeks = faults = failed = 0
         for dev in node._disks.values():
             busy += dev.stats.busy_seconds
             reads += dev.stats.reads
@@ -51,6 +55,8 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
             br += dev.stats.bytes_read
             bw += dev.stats.bytes_written
             seeks += dev.stats.seeks
+            faults += dev.stats.failures
+            failed += dev.failed
         ctx = contexts.get(node.index)
         live_msgs = ctx.comm.sent_messages if ctx else 0
         live_bytes = ctx.comm.sent_bytes if ctx else 0
@@ -67,6 +73,8 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
                 seeks=seeks,
                 messages_sent=node.total_messages_sent + live_msgs,
                 bytes_sent=node.total_bytes_sent + live_bytes,
+                faults_fired=faults,
+                failed_devices=failed,
             )
         )
     return out
@@ -85,14 +93,15 @@ def format_utilization(rows: list[NodeUtilization]) -> str:
     header = (
         f"{'node':>4} {'role':<10} {'clock[s]':>10} {'disk busy':>10} "
         f"{'reads':>8} {'writes':>8} {'seeks':>7} {'MB rd':>7} {'MB wr':>7} "
-        f"{'msgs':>7} {'MB sent':>8}"
+        f"{'msgs':>7} {'MB sent':>8} {'faults':>7}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
+        fault_col = f"{r.faults_fired}" + ("!" if r.failed_devices else "")
         lines.append(
             f"{r.node:>4} {r.role:<10} {r.clock_seconds:>10.4f} "
             f"{r.disk_busy_seconds:>10.4f} {r.disk_reads:>8} {r.disk_writes:>8} "
             f"{r.seeks:>7} {r.bytes_read / 1e6:>7.2f} {r.bytes_written / 1e6:>7.2f} "
-            f"{r.messages_sent:>7} {r.bytes_sent / 1e6:>8.2f}"
+            f"{r.messages_sent:>7} {r.bytes_sent / 1e6:>8.2f} {fault_col:>7}"
         )
     return "\n".join(lines)

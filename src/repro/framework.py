@@ -28,12 +28,13 @@ from .services import (
     IngestReport,
     QueryReport,
     QueryService,
+    ReplicatedDeclusterer,
     VertexHash,
     VertexRoundRobin,
     WindowGreedy,
 )
-from .simcluster import NodeSpec, SimCluster
-from .util.errors import ConfigError
+from .simcluster import FaultPlan, NodeSpec, SimCluster
+from .util.errors import ConfigError, DeviceFailedError
 
 __all__ = ["MSSG", "MSSGConfig"]
 
@@ -63,6 +64,21 @@ class MSSGConfig:
     node_spec: NodeSpec = field(default_factory=NodeSpec)
     storage_dir: str | None = None
     ascii_input: bool = True
+    #: Copies of each adjacency partition (rotational declustering): data
+    #: whose primary owner is back-end ``u`` is also stored on back-ends
+    #: ``u+1 .. u+replication-1`` (mod p), and queries fail over to a
+    #: surviving replica when a device dies mid-query.
+    replication: int = 1
+    #: Injected disk faults (see :class:`repro.simcluster.FaultPlan`);
+    #: installed on the cluster at deployment.  Use
+    #: :meth:`MSSG.set_fault_plan` instead to arm faults only after
+    #: ingestion (virtual clocks restart at 0 for every cluster run).
+    fault_plan: FaultPlan | None = None
+    #: Failover rounds attempted per BFS level before degrading to a
+    #: partial result.
+    max_retries: int = 2
+    #: Per-attempt expand budget in virtual seconds (``None`` = no limit).
+    attempt_timeout: float | None = None
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -74,6 +90,11 @@ class MSSGConfig:
             )
         if self.num_backends < 1 or self.num_frontends < 1:
             raise ConfigError("need at least one back-end and one front-end")
+        if not 1 <= self.replication <= self.num_backends:
+            raise ConfigError(
+                f"replication must be in [1, num_backends={self.num_backends}], "
+                f"got {self.replication}"
+            )
 
 
 class MSSG:
@@ -86,16 +107,24 @@ class MSSG:
             nranks=cfg.num_frontends + cfg.num_backends,
             spec=cfg.node_spec,
             storage_dir=cfg.storage_dir,
+            fault_plan=cfg.fault_plan,
         )
         self.declusterer: Declusterer = _DECLUSTERERS[cfg.declustering](cfg.num_backends)
+        if cfg.replication > 1:
+            self.declusterer = ReplicatedDeclusterer(self.declusterer, cfg.replication)
         self.dbs: list[GraphDB] = []
         for q in range(cfg.num_backends):
             node = self.cluster.nodes[cfg.num_frontends + q]
             # grDB packs its level-0 file densely when the owner map is the
-            # globally known GID % p round robin.
+            # globally known GID % p round robin.  With replication each
+            # back-end also stores its neighbours' partitions, so the
+            # modulo map no longer covers the local id space — fall back to
+            # the generic map.
             id_map = (
                 ModuloMap(cfg.num_backends, q)
-                if cfg.backend == "grDB" and cfg.declustering == "vertex-rr"
+                if cfg.backend == "grDB"
+                and cfg.declustering == "vertex-rr"
+                and cfg.replication == 1
                 else None
             )
             self.dbs.append(
@@ -118,11 +147,33 @@ class MSSG:
             ascii_input=cfg.ascii_input,
         )
         self.queries = QueryService(
-            self.cluster, self.dbs, self.declusterer, num_frontends=cfg.num_frontends
+            self.cluster,
+            self.dbs,
+            self.declusterer,
+            num_frontends=cfg.num_frontends,
+            # Replicated deployments always run the failover protocol; an
+            # unreplicated one runs it only when faults are expected, so the
+            # healthy fast path stays byte-for-byte the original algorithms.
+            fault_tolerant=(cfg.replication > 1 or cfg.fault_plan is not None) or None,
+            max_retries=cfg.max_retries,
+            attempt_timeout=cfg.attempt_timeout,
         )
         self.last_ingest: IngestReport | None = None
 
     # -- public operations ---------------------------------------------------
+
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Install (or clear, with ``None``) a disk fault plan on the cluster.
+
+        Virtual clocks restart at 0 for every ``cluster.run``, so a plan
+        installed *here*, between ingestion and a query, fires at virtual
+        times measured within the query — the way to model "a disk dies
+        mid-search" without also failing the ingestion.  Enables the
+        query-side failover protocol as a side effect.
+        """
+        self.cluster.install_fault_plan(plan)
+        if plan is not None:
+            self.queries.fault_tolerant = True
 
     def ingest(self, edges: np.ndarray) -> IngestReport:
         """Stream an undirected edge list into the back-end GraphDBs."""
@@ -186,7 +237,13 @@ class MSSG:
 
     def close(self) -> None:
         for db in self.dbs:
-            db.close()
+            try:
+                db.close()
+            except DeviceFailedError:
+                # Closing flushes dirty cache blocks; a back-end whose
+                # device was killed by an injected fault cannot accept the
+                # write-back, and teardown must not die with it.
+                pass
         self.cluster.close()
 
     def __enter__(self) -> "MSSG":

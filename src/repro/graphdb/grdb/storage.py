@@ -91,6 +91,10 @@ class GrDBStorage:
         """
         out: dict[int, bytes] = {}
         missing: list[int] = []
+        # Cap cache insertions at capacity: a batch larger than the cache
+        # would otherwise evict earlier blocks of this very batch (forcing
+        # dirty write-backs mid-read) with none of them surviving anyway.
+        budget = self.cache.capacity
         for block in sorted(set(int(b) for b in blocks)):
             key = (level, block)
             data = self.cache.get(key)
@@ -99,7 +103,9 @@ class GrDBStorage:
             elif key not in self._written_blocks:
                 data = self.fmt.empty_block(level)
                 out[block] = data
-                self.cache.put(key, data)
+                if budget > 0:
+                    budget -= 1
+                    self.cache.put(key, data)
             else:
                 missing.append(block)
         if missing:
@@ -113,7 +119,9 @@ class GrDBStorage:
                 datas = dev.readv([((b % N) * B, B) for b in file_blocks])
                 for block, data in zip(file_blocks, datas):
                     out[block] = data
-                    self.cache.put((level, block), data)
+                    if budget > 0:
+                        budget -= 1
+                        self.cache.put((level, block), data)
         return out
 
     def prefetch_blocks(self, level: int, blocks) -> int:
@@ -122,14 +130,20 @@ class GrDBStorage:
         The public face of the §4.2 offset-sorted prefetch: blocks already
         cached cost nothing, the rest arrive through the same coalescing
         planner as demand reads and are counted in ``cache.stats.prefetched``.
-        The return value is the number of distinct blocks in the plan (warm
-        or cold), so callers can reason about fringe locality.
+        The plan is capped at the cache capacity (warming more would only
+        evict this plan's own earlier blocks), and only blocks actually
+        resident afterwards count as prefetched.  The return value is the
+        number of distinct blocks requested (warm or cold), so callers can
+        reason about fringe locality.
         """
         wanted = sorted(set(int(b) for b in blocks))
         todo = [b for b in wanted if (level, b) not in self.cache]
+        todo = todo[: self.cache.capacity]
         if todo:
             self.read_block_batch(level, todo)
-            self.cache.stats.prefetched += len(todo)
+            self.cache.stats.prefetched += sum(
+                1 for b in todo if (level, b) in self.cache
+            )
         return len(wanted)
 
     def _write_block(self, level: int, block: int, data: bytes) -> None:
@@ -179,6 +193,26 @@ class GrDBStorage:
         return sb
 
     def free_subblock(self, level: int, subblock: int) -> None:
+        """Return an allocated sub-block (level >= 1) to its free list.
+
+        Rejects ids that were never handed out and double frees: either
+        would later make :meth:`allocate_subblock` hand the same sub-block
+        to two owners, silently corrupting adjacency data.
+        """
+        if not 1 <= level < self.fmt.num_levels:
+            raise GraphStorageException(
+                f"cannot free sub-block at level {level}: levels 1.."
+                f"{self.fmt.num_levels - 1} are allocated, level 0 is id-addressed"
+            )
+        if not 0 <= subblock < self._next_subblock[level]:
+            raise GraphStorageException(
+                f"cannot free never-allocated sub-block {subblock} at level "
+                f"{level} (allocator high-water mark is {self._next_subblock[level]})"
+            )
+        if subblock in self._free[level]:
+            raise GraphStorageException(
+                f"double free of sub-block {subblock} at level {level}"
+            )
         self._free[level].append(subblock)
 
     def allocated_subblocks(self, level: int) -> int:
@@ -209,6 +243,10 @@ class GrDBStorage:
                 "superblock format differs from the configured GrDBFormat; "
                 f"on disk: {state['format']}, configured: {self.fmt}"
             )
+        # The cache may hold blocks (dirty ones, even) from before the
+        # restore; they describe the pre-restore image, so flushing them
+        # would corrupt the state just adopted.  Discard, don't flush.
+        self.cache.drop()
         self._next_subblock = list(state["next_subblock"])
         self._free = [list(f) for f in state["free"]]
         self._written_blocks = set(state["written_blocks"])

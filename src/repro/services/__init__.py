@@ -3,6 +3,7 @@
 from .declustering import (
     Declusterer,
     EdgeRoundRobin,
+    ReplicatedDeclusterer,
     VertexHash,
     VertexRoundRobin,
     WindowGreedy,
@@ -17,6 +18,7 @@ __all__ = [
     "IngestionService",
     "QueryReport",
     "QueryService",
+    "ReplicatedDeclusterer",
     "VertexHash",
     "VertexRoundRobin",
     "WindowGreedy",

@@ -27,6 +27,7 @@ from ..util.errors import ConfigError
 
 __all__ = [
     "Declusterer",
+    "ReplicatedDeclusterer",
     "VertexRoundRobin",
     "VertexHash",
     "EdgeRoundRobin",
@@ -159,3 +160,40 @@ class WindowGreedy(Declusterer):
             return np.array([self._owner[int(v)] for v in vs], dtype=np.int64)
         except KeyError as missing:
             raise ConfigError(f"vertex {missing} was never ingested") from None
+
+
+class ReplicatedDeclusterer(Declusterer):
+    """k-copy wrapper around any base declusterer (rotational declustering).
+
+    Data whose *primary* owner is back-end ``u`` is stored on the replica
+    chain ``{(u + j) % p : j < k}``, so every partition survives the loss
+    of any ``k - 1`` back-ends and the query side can compute a surviving
+    replica for any shard from the owner map alone.  ``owner_of`` keeps
+    reporting the primary owner — routing around dead replicas is the
+    query-side failover's job, so a healthy cluster behaves exactly like
+    the unreplicated base declusterer (just with k× the stored bytes).
+    """
+
+    def __init__(self, base: Declusterer, replication: int):
+        if isinstance(base, ReplicatedDeclusterer):
+            raise ConfigError("cannot nest ReplicatedDeclusterer wrappers")
+        if not 1 <= replication <= base.p:
+            raise ConfigError(
+                f"replication must be in [1, {base.p} back-ends], got {replication}"
+            )
+        super().__init__(base.p)
+        self.base = base
+        self.replication = replication
+        self.owner_known = base.owner_known
+
+    def assign(self, window: np.ndarray) -> list[np.ndarray]:
+        parts = self.base.assign(window)
+        k, p = self.replication, self.p
+        return [np.vstack([parts[(q - j) % p] for j in range(k)]) for q in range(p)]
+
+    def owner_of(self, vertices: np.ndarray) -> np.ndarray:
+        return self.base.owner_of(vertices)
+
+    def replica_chain(self, primary: int) -> list[int]:
+        """The ranks storing a copy of ``primary``'s partition, in order."""
+        return [(primary + j) % self.p for j in range(self.replication)]

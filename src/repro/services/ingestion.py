@@ -35,9 +35,11 @@ class IngestReport:
 
     seconds: float  # virtual makespan of the whole ingestion
     edges_ingested: int  # undirected edges consumed from the stream
-    entries_stored: int  # directed adjacency entries written to back-ends
+    entries_stored: int  # directed adjacency entries written (all replicas)
     windows: int
     per_backend_entries: list[int]
+    #: Copies stored of each adjacency partition (1 = unreplicated).
+    replication: int = 1
 
     @property
     def edges_per_second(self) -> float:
@@ -159,6 +161,7 @@ class IngestionService:
             entries_stored=sum(per_backend),
             windows=sum(results["reader"]),
             per_backend_entries=per_backend,
+            replication=getattr(self.declusterer, "replication", 1),
         )
 
 

@@ -22,6 +22,7 @@ from typing import Any, Callable
 from ..bfs import (
     BFSConfig,
     ExternalVisited,
+    FaultTolerance,
     InMemoryVisited,
     NOT_FOUND,
     oocbfs_program,
@@ -45,6 +46,15 @@ class QueryReport:
     result: Any
     edges_scanned: int = 0
     levels: int = 0
+    #: Some adjacency was never expanded (replicas exhausted or retry budget
+    #: blown): ``result`` is a lower bound, not the exact answer.
+    partial: bool = False
+    #: Fringe shards re-expanded on surviving replicas across all ranks.
+    failovers: int = 0
+    #: Back-end devices that failed (raised DeviceFailedError) mid-query.
+    device_failures: int = 0
+    #: Total fringe vertices dropped because no replica could expand them.
+    dropped_vertices: int = 0
 
     @property
     def edges_per_second(self) -> float:
@@ -60,6 +70,9 @@ class QueryService:
         dbs: list[GraphDB],
         declusterer: Declusterer,
         num_frontends: int = 0,
+        fault_tolerant: bool | None = None,
+        max_retries: int = 2,
+        attempt_timeout: float | None = None,
     ):
         if cluster.nranks < num_frontends + len(dbs):
             raise ConfigError("cluster too small for the requested service layout")
@@ -67,6 +80,17 @@ class QueryService:
         self.dbs = dbs
         self.declusterer = declusterer
         self.num_frontends = num_frontends
+        #: Copies of each partition, taken from the (possibly replicated)
+        #: declusterer the graph was ingested with.
+        self.replication = getattr(declusterer, "replication", 1)
+        # Default: run the failover protocol exactly when the data is
+        # replicated.  Forcing it on with replication=1 still converts
+        # device deaths into flagged partial results instead of crashes.
+        self.fault_tolerant = (
+            self.replication > 1 if fault_tolerant is None else fault_tolerant
+        )
+        self.max_retries = max_retries
+        self.attempt_timeout = attempt_timeout
         self._visited_seq = 0
         self._analyses: dict[str, Callable] = {}
         self.register("bfs", self._bfs_analysis)
@@ -131,6 +155,15 @@ class QueryService:
             return ExternalVisited(ctx.node.disk(f"visited-{seq}"))
         raise ConfigError(f"unknown visited structure {kind!r}")
 
+    def _ft(self) -> FaultTolerance | None:
+        if not self.fault_tolerant:
+            return None
+        return FaultTolerance(
+            replication=self.replication,
+            max_retries=self.max_retries,
+            attempt_timeout=self.attempt_timeout,
+        )
+
     def _bfs_common(self, program, source, dest, visited, max_levels, prefetch=False, **alg_kw):
         cfg = BFSConfig(
             source=int(source),
@@ -138,6 +171,7 @@ class QueryService:
             owner_known=self.declusterer.owner_known,
             max_levels=max_levels,
             prefetch=prefetch,
+            ft=self._ft(),
         )
         owner_of = self.declusterer.owner_of if self.declusterer.owner_known else None
         self._visited_seq += 1
@@ -164,6 +198,10 @@ class QueryService:
             result=None if found == NOT_FOUND else found,
             edges_scanned=sum(r.edges_scanned for r in results),
             levels=max(r.levels_expanded for r in results),
+            partial=any(r.partial for r in results),
+            failovers=sum(r.failovers for r in results),
+            device_failures=sum(r.device_failed for r in results),
+            dropped_vertices=sum(r.dropped_vertices for r in results),
         )
 
     def _bfs_analysis(self, source, dest, visited="memory", max_levels=64, prefetch=False):
@@ -223,6 +261,7 @@ class QueryService:
                     dest=cfg_dest,
                     owner_known=self.declusterer.owner_known,
                     max_levels=int(hops),
+                    ft=self._ft(),
                 )
                 owner_of = (
                     self.declusterer.owner_of if self.declusterer.owner_known else None

@@ -11,6 +11,7 @@ from .cluster import RankContext, SimCluster, SimNode
 from .comm import ANY, Comm, SubComm
 from .costmodel import CpuProfile, DiskProfile, NetworkProfile, NodeSpec
 from .disk import BlockDevice, DiskStats, FileBacking, MemoryBacking
+from .faults import DiskFault, FaultPlan
 from .message import Message
 from .scheduler import RankState, Scheduler
 from .virtualtime import VirtualClock
@@ -20,8 +21,10 @@ __all__ = [
     "BlockDevice",
     "Comm",
     "CpuProfile",
+    "DiskFault",
     "DiskProfile",
     "DiskStats",
+    "FaultPlan",
     "FileBacking",
     "MemoryBacking",
     "Message",

@@ -37,11 +37,18 @@ __all__ = ["SimNode", "RankContext", "SimCluster"]
 class SimNode:
     """One simulated cluster node: a clock, cost profiles, and local disks."""
 
-    def __init__(self, index: int, spec: NodeSpec, storage_dir: str | None = None):
+    def __init__(
+        self,
+        index: int,
+        spec: NodeSpec,
+        storage_dir: str | None = None,
+        fault_plan=None,
+    ):
         self.index = index
         self.spec = spec
         self.clock = VirtualClock()
         self.storage_dir = storage_dir
+        self.fault_plan = fault_plan
         self._disks: dict[str, BlockDevice] = {}
         # Lifetime accounting across runs (clocks reset per run; these do not).
         self.total_run_seconds = 0.0
@@ -63,8 +70,22 @@ class SimNode:
             dev = BlockDevice(
                 backing, self.spec.disk, self.clock, name=name, os_cache=self.os_cache
             )
+            if self.fault_plan is not None:
+                dev.install_faults(
+                    self.fault_plan, self.fault_plan.for_device(self.index, name)
+                )
             self._disks[name] = dev
         return dev
+
+    def install_fault_plan(self, plan) -> None:
+        """Adopt ``plan`` (or clear, with ``None``) for existing and future
+        devices of this node."""
+        self.fault_plan = plan
+        for name, dev in self._disks.items():
+            if plan is None:
+                dev.clear_faults()
+            else:
+                dev.install_faults(plan, plan.for_device(self.index, name))
 
     def compute(self, seconds: float) -> None:
         self.clock.advance(seconds)
@@ -117,6 +138,7 @@ class SimCluster:
         spec: NodeSpec | None = None,
         specs: Sequence[NodeSpec] | None = None,
         storage_dir: str | None = None,
+        fault_plan=None,
     ):
         if nranks <= 0:
             raise ConfigError(f"cluster needs at least 1 rank, got {nranks}")
@@ -125,9 +147,24 @@ class SimCluster:
         base = spec if spec is not None else NodeSpec()
         self.specs = list(specs) if specs is not None else [base] * nranks
         self.nranks = nranks
-        self.nodes = [SimNode(i, self.specs[i], storage_dir) for i in range(nranks)]
+        self.fault_plan = fault_plan
+        self.nodes = [
+            SimNode(i, self.specs[i], storage_dir, fault_plan=fault_plan)
+            for i in range(nranks)
+        ]
         self.makespan: float = 0.0
         self.last_contexts: list[RankContext] = []
+
+    def install_fault_plan(self, plan) -> None:
+        """Adopt a :class:`~repro.simcluster.faults.FaultPlan` cluster-wide.
+
+        Covers devices that already exist (e.g. created during ingestion)
+        as well as ones created later, so a plan can be installed *between*
+        a healthy ingest and the query it is meant to disturb.
+        """
+        self.fault_plan = plan
+        for node in self.nodes:
+            node.install_fault_plan(plan)
 
     def run(
         self,

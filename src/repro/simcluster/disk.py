@@ -15,6 +15,7 @@ import os
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..util.errors import DeviceFailedError
 from .costmodel import DiskProfile
 from .virtualtime import VirtualClock
 
@@ -131,6 +132,7 @@ class DiskStats:
     bytes_written: int = 0
     seeks: int = 0
     busy_seconds: float = 0.0
+    failures: int = 0  # injected faults that fired on this device
 
     def snapshot(self) -> "DiskStats":
         return DiskStats(**vars(self))
@@ -165,6 +167,13 @@ class BlockDevice:
         self.name = name
         self.stats = DiskStats()
         self._head = -1  # byte position after the last request; -1 = unknown
+        # Fault injection (see simcluster.faults): ops served, scheduled
+        # faults, sticky failure flag, and the current latency multiplier.
+        self.ops = 0
+        self.failed = False
+        self._faults: list = []
+        self._fault_plan = None
+        self._slow_factor = 1.0
         # OS page cache (time model only — bytes always come from backing).
         # Shared per node when the caller passes one; a private cache is
         # created when only the profile asks for caching.
@@ -176,30 +185,74 @@ class BlockDevice:
         ):
             self._os_cache = OSPageCache(profile.os_cache_bytes // profile.os_page_bytes)
 
+    def install_faults(self, plan, faults) -> None:
+        """Attach scheduled faults (see :mod:`repro.simcluster.faults`).
+
+        ``plan`` is kept by reference so arming/disarming it takes effect
+        on the next operation; ``faults`` is the subset of its entries that
+        matches this device.
+        """
+        self._fault_plan = plan
+        self._faults.extend(faults)
+
+    def clear_faults(self) -> None:
+        """Drop scheduled faults and any degradation already in effect.
+
+        A device that already hard-failed stays failed — clearing the plan
+        models cancelling pending faults, not repairing dead hardware.
+        """
+        self._fault_plan = None
+        self._faults.clear()
+        self._slow_factor = 1.0
+
+    def _check_faults(self) -> None:
+        """Fail or degrade this operation if a scheduled fault has fired."""
+        if self.failed:
+            raise DeviceFailedError(f"device {self.name!r} has failed")
+        if not self._faults or (self._fault_plan is not None and not self._fault_plan.armed):
+            self.ops += 1
+            return
+        now = self.clock.now
+        for fault in self._faults:
+            if fault.triggered(now, self.ops):
+                if fault.kind == "fail":
+                    self.failed = True
+                    self.stats.failures += 1
+                    raise DeviceFailedError(
+                        f"device {self.name!r} failed "
+                        f"(injected fault at t={now:.6f}s after {self.ops} ops)"
+                    )
+                if self._slow_factor < fault.slow_factor:
+                    self._slow_factor = fault.slow_factor
+                    self.stats.failures += 1
+        self.ops += 1
+
     def _os_cache_read(self, offset: int, nbytes: int) -> None:
         """Charge a read through the OS page cache: cached pages pay a
         syscall+copy; missing pages pay physical seek/transfer and are
-        inserted."""
+        inserted.  Each maximal run of contiguous missing pages costs one
+        seek; a miss after an interleaved hit starts a new run (unless it
+        happens to continue from the device head)."""
         prof = self.profile
         cache = self._os_cache
         page = prof.os_page_bytes
         first, last = offset // page, (offset + max(nbytes, 1) - 1) // page
         hits = 0
-        any_miss = False
+        in_miss_run = False
         cost = 0.0
         for p in range(first, last + 1):
             if cache.touch((self.name, p)):
                 hits += 1
+                in_miss_run = False
             else:
-                # Each contiguous miss run costs one seek + its transfer.
-                cost += prof.read_cost(
-                    page, sequential=any_miss or (p * page == self._head)
-                )
-                any_miss = True
+                sequential = in_miss_run or (p * page == self._head)
+                if not sequential:
+                    self.stats.seeks += 1
+                cost += prof.read_cost(page, sequential=sequential)
+                self._head = (p + 1) * page
+                in_miss_run = True
         cost += hits * prof.os_read_hit_seconds
-        if any_miss:
-            self.stats.seeks += 1
-            self._head = (last + 1) * page
+        cost *= self._slow_factor
         self.clock.advance(cost)
         self.stats.busy_seconds += cost
 
@@ -216,6 +269,7 @@ class BlockDevice:
                 if write
                 else self.profile.read_cost(nbytes, sequential)
             )
+            cost *= self._slow_factor
             self.clock.advance(cost)
             self.stats.busy_seconds += cost
         self._head = offset + nbytes
@@ -227,6 +281,7 @@ class BlockDevice:
     def read(self, offset: int, nbytes: int) -> bytes:
         if offset < 0 or nbytes < 0:
             raise ValueError("negative offset or length in BlockDevice.read")
+        self._check_faults()
         self._charge(offset, nbytes, write=False)
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
@@ -258,6 +313,7 @@ class BlockDevice:
             else:
                 runs.append([offset, offset + nbytes, [i]])
         for start, end, idxs in runs:
+            self._check_faults()
             self._charge(start, end - start, write=False)
             self.stats.reads += 1
             self.stats.bytes_read += end - start
@@ -270,6 +326,7 @@ class BlockDevice:
     def write(self, offset: int, data: bytes) -> None:
         if offset < 0:
             raise ValueError("negative offset in BlockDevice.write")
+        self._check_faults()
         self._charge(offset, len(data), write=True)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)

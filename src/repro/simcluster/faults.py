@@ -1,0 +1,126 @@
+"""Disk fault injection for the simulated cluster.
+
+Every out-of-core result in the paper silently assumes P healthy disks.
+This module makes disks *misbehave* on a schedule so the rest of the stack
+can prove it survives: a :class:`FaultPlan` is a set of :class:`DiskFault`
+triggers that a :class:`~repro.simcluster.disk.BlockDevice` checks on every
+operation, either hard-failing the device (all subsequent I/O raises
+:class:`~repro.util.errors.DeviceFailedError`) or degrading its latency by
+a constant factor (the "slow disk" straggler mode).
+
+Triggers are expressed in the simulation's own units — virtual seconds on
+the owning node's clock, or a count of operations the device has served —
+so fault schedules are exactly reproducible.  Note that node clocks reset
+at the start of every :meth:`SimCluster.run`, so ``at_time`` is relative to
+the *current* run; install a plan after ingestion (see
+``MSSG.set_fault_plan``) to target queries only, or :meth:`FaultPlan.disarm`
+it around phases that should stay healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..util.errors import ConfigError
+
+__all__ = ["DiskFault", "FaultPlan"]
+
+_KINDS = ("fail", "slow")
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One scheduled fault on one node's device(s).
+
+    Parameters
+    ----------
+    node:
+        Cluster rank index whose local devices this fault targets.
+    device:
+        Device-name prefix (``"grdb"`` matches every grDB level file);
+        ``None`` targets every device of the node.
+    kind:
+        ``"fail"`` — the device hard-fails and stays failed; ``"slow"`` —
+        every later operation costs ``slow_factor`` times as much.
+    at_time:
+        Trigger once the node's virtual clock reaches this many seconds
+        (relative to the current run — clocks reset per run).
+    after_ops:
+        Trigger once the device has completed this many operations
+        (reads + writes, counted over the device's whole lifetime).
+    slow_factor:
+        Latency multiplier for ``kind="slow"``.
+    """
+
+    node: int
+    device: str | None = None
+    kind: str = "fail"
+    at_time: float | None = None
+    after_ops: int | None = None
+    slow_factor: float = 50.0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ConfigError(f"fault kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.at_time is None and self.after_ops is None:
+            raise ConfigError("a DiskFault needs an at_time or after_ops trigger")
+        if self.at_time is not None and self.at_time < 0:
+            raise ConfigError(f"negative fault time {self.at_time}")
+        if self.after_ops is not None and self.after_ops < 0:
+            raise ConfigError(f"negative fault operation count {self.after_ops}")
+        if self.kind == "slow" and self.slow_factor < 1.0:
+            raise ConfigError("slow_factor below 1.0 would speed the disk up")
+
+    def matches(self, node_index: int, device_name: str) -> bool:
+        if node_index != self.node:
+            return False
+        return self.device is None or device_name.startswith(self.device)
+
+    def triggered(self, now: float, ops_completed: int) -> bool:
+        if self.at_time is not None and now >= self.at_time:
+            return True
+        return self.after_ops is not None and ops_completed >= self.after_ops
+
+
+class FaultPlan:
+    """A reproducible schedule of disk faults for one cluster.
+
+    The plan is shared by reference with every device it matches, so
+    :meth:`arm`/:meth:`disarm` take effect immediately across the cluster
+    (e.g. keep ingestion healthy, then arm before the query under test).
+    """
+
+    def __init__(self, faults: Iterable[DiskFault] = ()):
+        self.faults: list[DiskFault] = list(faults)
+        self.armed = True
+
+    def __iter__(self) -> Iterator[DiskFault]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def add(self, fault: DiskFault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def for_device(self, node_index: int, device_name: str) -> list[DiskFault]:
+        return [f for f in self.faults if f.matches(node_index, device_name)]
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    @classmethod
+    def kill_node(
+        cls,
+        node: int,
+        at_time: float | None = None,
+        after_ops: int | None = None,
+        device: str | None = None,
+    ) -> "FaultPlan":
+        """Convenience: one plan hard-failing every device of ``node``."""
+        return cls([DiskFault(node=node, device=device, at_time=at_time, after_ops=after_ops)])

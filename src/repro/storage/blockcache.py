@@ -92,6 +92,11 @@ class LRUBlockCache:
         self._blocks[key] = data
         if dirty:
             self._dirty.add(key)
+        else:
+            # A clean overwrite (fresh read from the device) supersedes any
+            # stale dirty mark: writing the old bit pattern back out would
+            # clobber the block just read.
+            self._dirty.discard(key)
         while len(self._blocks) > self.capacity:
             old_key, old_data = self._blocks.popitem(last=False)
             self.stats.evictions += 1
@@ -119,5 +124,16 @@ class LRUBlockCache:
     def clear(self) -> None:
         """Flush then drop everything."""
         self.flush()
+        self._blocks.clear()
+        self._dirty.clear()
+
+    def drop(self) -> None:
+        """Drop everything WITHOUT flushing.
+
+        For discarding cached state that no longer describes the backing
+        store — e.g. after :meth:`GrDBStorage.restore` re-reads a superblock,
+        when flushing pre-restore dirty blocks would corrupt the restored
+        image.  Not an alternative to :meth:`clear` for shutdown.
+        """
         self._blocks.clear()
         self._dirty.clear()

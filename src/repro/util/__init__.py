@@ -5,6 +5,7 @@ from .errors import (
     CommError,
     ConfigError,
     DeadlockError,
+    DeviceFailedError,
     GraphStorageException,
     KeyNotFound,
     OntologyError,
@@ -22,6 +23,7 @@ __all__ = [
     "CommError",
     "ConfigError",
     "DeadlockError",
+    "DeviceFailedError",
     "GraphStorageException",
     "HEADER_BYTES",
     "KeyNotFound",

@@ -40,6 +40,16 @@ class SimulationError(ReproError):
     """The simulated cluster reached an invalid state."""
 
 
+class DeviceFailedError(ReproError):
+    """An injected disk fault fired: the block device no longer serves I/O.
+
+    Unlike the other errors this one models *hardware* misbehavior, not a
+    program bug — fault-tolerant callers (the BFS failover path) catch it
+    and re-route work to a surviving replica; everything else lets it
+    propagate, which is the pre-replication behavior.
+    """
+
+
 class DeadlockError(SimulationError):
     """Every rank is blocked and no message can unblock any of them."""
 

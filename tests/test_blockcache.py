@@ -70,6 +70,32 @@ class TestLRUEdgeCases:
         c.put("c", b"4")
         assert "a" in c and "b" not in c
 
+    def test_clean_overwrite_clears_stale_dirty_bit(self):
+        """A clean put over a dirty block must not leave the block dirty:
+        the clean bytes are the device's truth, and writing them back (or
+        worse, treating them as unsynced changes) is wrong."""
+        written = []
+        c = LRUBlockCache(4, writer=lambda k, v: written.append((k, v)))
+        c.put("a", b"old", dirty=True)
+        c.put("a", b"fresh-from-device")  # clean overwrite, e.g. re-read
+        c.flush()
+        assert written == []  # nothing dirty remains
+        c.put("b", b"1")
+        c.put("c", b"2")
+        c.put("d", b"3")
+        c.put("e", b"4")  # evicts "a" -- must not write it back either
+        assert "a" not in c and written == []
+
+    def test_drop_discards_dirty_blocks_without_writeback(self):
+        written = []
+        c = LRUBlockCache(4, writer=lambda k, v: written.append(k))
+        c.put("a", b"1", dirty=True)
+        c.put("b", b"2")
+        c.drop()
+        assert len(c) == 0 and written == []
+        c.flush()  # nothing left to flush
+        assert written == []
+
 
 class TestCoalescedReads:
     def _write_blocks(self, st: GrDBStorage, blocks) -> None:
@@ -189,6 +215,96 @@ class TestPrefetchAccounting:
         hits_before = st.cache.stats.hits
         st.read_subblock(0, 0)
         assert st.cache.stats.hits == hits_before + 1
+
+
+class TestBatchCapacityCap:
+    """A plan larger than the cache must not thrash the cache against
+    itself: later inserts of the same batch would evict its earlier blocks
+    (forcing mid-read write-backs) with nothing surviving to be reused."""
+
+    def _filled(self, st: GrDBStorage, blocks) -> None:
+        k = FMT.subblocks_per_block(0)
+        for b in blocks:
+            st.write_subblock(0, b * k, filled_subblock(b + 1))
+
+    def test_oversized_batch_does_not_self_evict(self):
+        st = make_storage(cache_blocks=2)
+        self._filled(st, range(5))
+        st.flush()
+        st.cache.drop()
+        evictions_before = st.cache.stats.evictions
+        out = st.read_block_batch(0, range(5))
+        assert sorted(out) == [0, 1, 2, 3, 4]  # data still complete
+        assert len(st.cache) <= 2
+        assert st.cache.stats.evictions == evictions_before
+
+    def test_oversized_batch_returns_correct_bytes(self):
+        st = make_storage(cache_blocks=2)
+        self._filled(st, range(5))
+        st.flush()
+        st.cache.drop()
+        out = st.read_block_batch(0, range(5))
+        for b in range(5):
+            assert out[b][: FMT.subblock_bytes(0)] == filled_subblock(b + 1)
+
+    def test_prefetch_plan_capped_at_capacity(self):
+        st = make_storage(cache_blocks=2)
+        self._filled(st, range(5))
+        st.flush()
+        st.cache.drop()
+        n = st.prefetch_blocks(0, range(5))
+        assert n == 5  # the request covered five distinct blocks...
+        assert st.cache.stats.prefetched == 2  # ...but only capacity warmed
+        # Every block counted as prefetched is actually resident.
+        assert len(st.cache) == 2
+
+    def test_prefetch_counts_only_resident_blocks(self):
+        st = make_storage(cache_blocks=3)
+        self._filled(st, range(3))
+        st.flush()
+        st.cache.drop()
+        st.prefetch_blocks(0, [0, 1, 2])
+        assert st.cache.stats.prefetched == 3
+        assert all((0, b) in st.cache for b in range(3))
+
+
+class TestAllocatorGuards:
+    def test_free_then_reallocate_roundtrip(self):
+        st = make_storage()
+        sb = st.allocate_subblock(1)
+        st.free_subblock(1, sb)
+        assert st.allocate_subblock(1) == sb
+
+    def test_double_free_rejected(self):
+        from repro.util import GraphStorageException
+
+        st = make_storage()
+        sb = st.allocate_subblock(1)
+        st.free_subblock(1, sb)
+        with pytest.raises(GraphStorageException, match="double free"):
+            st.free_subblock(1, sb)
+
+    def test_free_never_allocated_rejected(self):
+        from repro.util import GraphStorageException
+
+        st = make_storage()
+        st.allocate_subblock(1)
+        with pytest.raises(GraphStorageException, match="never-allocated"):
+            st.free_subblock(1, 99)
+
+    def test_free_level_zero_rejected(self):
+        from repro.util import GraphStorageException
+
+        st = make_storage()
+        with pytest.raises(GraphStorageException, match="id-addressed"):
+            st.free_subblock(0, 0)
+
+    def test_free_out_of_range_level_rejected(self):
+        from repro.util import GraphStorageException
+
+        st = make_storage()
+        with pytest.raises(GraphStorageException):
+            st.free_subblock(FMT.num_levels, 0)
 
 
 if __name__ == "__main__":

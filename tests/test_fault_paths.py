@@ -10,10 +10,22 @@ corruption.
 import numpy as np
 import pytest
 
+from repro import MSSG, MSSGConfig
 from repro.datacutter import DataCutterRuntime, Filter, FilterGraph
-from repro.simcluster import BlockDevice, MemoryBacking, NodeSpec, SimCluster, SimNode
+from repro.graphgen import pubmed_like
+from repro.simcluster import (
+    BlockDevice,
+    DiskFault,
+    FaultPlan,
+    MemoryBacking,
+    NodeSpec,
+    SimCluster,
+    SimNode,
+)
 from repro.storage import BTree, KVStore, PagedFile
 from repro.util import (
+    ConfigError,
+    DeviceFailedError,
     GraphStorageException,
     PageFormatError,
     SimulationError,
@@ -153,3 +165,283 @@ class TestMemoryBackingEdge:
         assert m.read(0, 0) == b""
         m.write(5, b"")
         assert m.size() == 0  # empty write does not extend
+
+
+class TestFaultInjection:
+    """Unit-level behavior of DiskFault / FaultPlan / BlockDevice hooks."""
+
+    def test_time_fault_fires_and_is_sticky(self):
+        node = SimNode(0, NodeSpec(), fault_plan=FaultPlan.kill_node(0, at_time=0.0))
+        dev = node.disk()
+        with pytest.raises(DeviceFailedError):
+            dev.read(0, 16)
+        assert dev.failed
+        assert dev.stats.failures == 1
+        with pytest.raises(DeviceFailedError):
+            dev.write(0, b"x")  # still dead; failure counted once
+        assert dev.stats.failures == 1
+
+    def test_after_ops_fault(self):
+        plan = FaultPlan([DiskFault(node=0, after_ops=3)])
+        dev = SimNode(0, NodeSpec(), fault_plan=plan).disk()
+        for i in range(3):
+            dev.write(i * 8, b"ok")
+        with pytest.raises(DeviceFailedError):
+            dev.read(0, 2)
+        assert dev.ops == 3  # the fourth operation never completed
+
+    def test_readv_checks_faults(self):
+        plan = FaultPlan([DiskFault(node=0, after_ops=0)])
+        dev = SimNode(0, NodeSpec(), fault_plan=plan).disk()
+        with pytest.raises(DeviceFailedError):
+            dev.readv([(0, 8), (16, 8)])
+
+    def test_slow_fault_multiplies_latency(self):
+        def read_cost(plan):
+            node = SimNode(0, NodeSpec(), fault_plan=plan)
+            dev = node.disk()
+            dev.write(0, b"z" * 4096)
+            t0 = node.clock.now
+            dev.read(0, 4096)
+            return node.clock.now - t0
+
+        healthy = read_cost(None)
+        slow = read_cost(
+            FaultPlan([DiskFault(node=0, kind="slow", at_time=0.0, slow_factor=10.0)])
+        )
+        assert healthy > 0
+        assert slow == pytest.approx(10.0 * healthy)
+
+    def test_disarmed_plan_is_inert_until_armed(self):
+        plan = FaultPlan.kill_node(0, at_time=0.0)
+        plan.disarm()
+        dev = SimNode(0, NodeSpec(), fault_plan=plan).disk()
+        dev.write(0, b"fine")  # scheduled fault held back
+        plan.arm()
+        with pytest.raises(DeviceFailedError):
+            dev.read(0, 4)
+
+    def test_fault_matches_device_prefix_and_node(self):
+        plan = FaultPlan([DiskFault(node=0, device="grdb", at_time=0.0)])
+        node = SimNode(0, NodeSpec(), fault_plan=plan)
+        with pytest.raises(DeviceFailedError):
+            node.disk("grdb_L0").write(0, b"x")
+        node.disk("wal").write(0, b"x")  # different prefix: unaffected
+        other = SimNode(1, NodeSpec(), fault_plan=plan)
+        other.disk("grdb_L0").write(0, b"x")  # different node: unaffected
+
+    def test_clearing_plan_cancels_pending_but_not_dead(self):
+        plan = FaultPlan([DiskFault(node=0, after_ops=1)])
+        node = SimNode(0, NodeSpec(), fault_plan=plan)
+        dev = node.disk()
+        dev.write(0, b"a")
+        node.install_fault_plan(None)  # cancel before the trigger
+        dev.read(0, 1)  # would have failed under the plan
+        node.install_fault_plan(FaultPlan.kill_node(0, at_time=0.0))
+        with pytest.raises(DeviceFailedError):
+            dev.read(0, 1)
+        node.install_fault_plan(None)
+        with pytest.raises(DeviceFailedError):
+            dev.read(0, 1)  # hard failure is not repaired by clearing
+
+    def test_invalid_faults_rejected(self):
+        with pytest.raises(ConfigError):
+            DiskFault(node=0)  # no trigger at all
+        with pytest.raises(ConfigError):
+            DiskFault(node=0, kind="melt", at_time=0.0)
+        with pytest.raises(ConfigError):
+            DiskFault(node=0, at_time=-1.0)
+        with pytest.raises(ConfigError):
+            DiskFault(node=0, after_ops=-5)
+        with pytest.raises(ConfigError):
+            DiskFault(node=0, kind="slow", at_time=0.0, slow_factor=0.5)
+
+    def test_cluster_wide_install_covers_existing_devices(self):
+        cluster = SimCluster(nranks=2)
+
+        def touch(ctx):
+            ctx.node.disk().write(0, b"warm")
+            yield from ctx.comm.barrier()
+
+        cluster.run(touch)
+        cluster.install_fault_plan(FaultPlan.kill_node(1, at_time=0.0))
+
+        def probe(ctx):
+            yield from ctx.comm.barrier()
+            try:
+                ctx.node.disk().read(0, 4)
+                return "ok"
+            except DeviceFailedError:
+                return "dead"
+
+        assert cluster.run(probe) == ["ok", "dead"]
+
+
+class TestReplicatedDeclustering:
+    def _rows(self, arr):
+        return {tuple(r) for r in np.asarray(arr).tolist()}
+
+    def test_assign_rotates_base_partitions(self):
+        from repro.services.declustering import ReplicatedDeclusterer, VertexRoundRobin
+
+        window = np.column_stack([np.arange(30), np.arange(30) + 100])
+        base = VertexRoundRobin(3)
+        rep = ReplicatedDeclusterer(VertexRoundRobin(3), replication=2)
+        plain = base.assign(window)
+        doubled = rep.assign(window)
+        for q in range(3):
+            want = self._rows(plain[q]) | self._rows(plain[(q - 1) % 3])
+            assert self._rows(doubled[q]) == want
+
+    def test_replication_one_matches_base(self):
+        from repro.services.declustering import ReplicatedDeclusterer, VertexRoundRobin
+
+        window = np.column_stack([np.arange(20), np.arange(20) + 50])
+        rep = ReplicatedDeclusterer(VertexRoundRobin(4), replication=1)
+        for mine, base in zip(rep.assign(window), VertexRoundRobin(4).assign(window)):
+            assert self._rows(mine) == self._rows(base)
+
+    def test_owner_of_reports_primary_and_chain_rotates(self):
+        from repro.services.declustering import ReplicatedDeclusterer, VertexRoundRobin
+
+        rep = ReplicatedDeclusterer(VertexRoundRobin(4), replication=3)
+        assert rep.owner_of(np.array([5, 8])).tolist() == [1, 0]
+        assert rep.replica_chain(3) == [3, 0, 1]
+        assert rep.owner_known
+
+    def test_validation(self):
+        from repro.services.declustering import ReplicatedDeclusterer, VertexRoundRobin
+
+        with pytest.raises(ConfigError):
+            ReplicatedDeclusterer(VertexRoundRobin(3), replication=0)
+        with pytest.raises(ConfigError):
+            ReplicatedDeclusterer(VertexRoundRobin(3), replication=4)
+        with pytest.raises(ConfigError):
+            ReplicatedDeclusterer(
+                ReplicatedDeclusterer(VertexRoundRobin(3), 2), replication=2
+            )
+
+    def test_config_replication_bounds(self):
+        with pytest.raises(ConfigError):
+            MSSGConfig(num_backends=2, replication=3)
+        with pytest.raises(ConfigError):
+            MSSGConfig(num_backends=2, replication=0)
+
+
+# --- End-to-end failover: the acceptance scenario of the fault-tolerance PR.
+#
+# A small graph with a tiny block cache (so queries are forced onto the
+# simulated devices — a graph that fits in cache never touches a disk and
+# faults can't fire), three back-ends, one front-end.  Node index of
+# back-end q is 1 + q.
+_FT_EDGES = pubmed_like(600, seed=7)
+_FT_SOURCE, _FT_DEST = 3, 450
+
+
+def _ft_query(
+    replication,
+    kill=(),
+    at_time=0.0,
+    pipelined=False,
+    declustering="vertex-rr",
+    backend="grDB",
+):
+    mssg = MSSG(
+        MSSGConfig(
+            num_backends=3,
+            num_frontends=1,
+            backend=backend,
+            declustering=declustering,
+            replication=replication,
+            cache_blocks=4,
+        )
+    )
+    try:
+        report = mssg.ingest(_FT_EDGES)
+        if kill:
+            plan = FaultPlan(
+                [DiskFault(node=1 + q, at_time=at_time) for q in kill]
+            )
+            mssg.set_fault_plan(plan)
+        query = mssg.query_bfs(_FT_SOURCE, _FT_DEST, pipelined=pipelined)
+        return report, query
+    finally:
+        mssg.close()
+
+
+class TestQueryFailover:
+    def test_ingest_reports_replication(self):
+        ingest, _ = _ft_query(replication=2)
+        single, _ = _ft_query(replication=1)
+        assert ingest.replication == 2 and single.replication == 1
+        assert ingest.entries_stored == 2 * single.entries_stored
+
+    def test_failover_preserves_result(self):
+        _, healthy = _ft_query(replication=2)
+        _, faulted = _ft_query(replication=2, kill=[0])
+        assert healthy.result is not None
+        assert faulted.result == healthy.result
+        assert faulted.failovers >= 1
+        assert faulted.device_failures == 1
+        assert not faulted.partial
+
+    def test_failover_preserves_result_pipelined(self):
+        _, healthy = _ft_query(replication=2, pipelined=True)
+        _, faulted = _ft_query(replication=2, kill=[0], pipelined=True)
+        assert faulted.result == healthy.result
+        assert faulted.failovers >= 1
+        assert not faulted.partial
+
+    def test_unreplicated_fault_degrades_to_partial(self):
+        _, report = _ft_query(replication=1, kill=[0])  # no exception raised
+        assert report.partial
+        assert report.device_failures == 1
+        assert report.dropped_vertices > 0
+
+    def test_exhausted_replica_chain_degrades_to_partial(self):
+        # Back-ends 0 and 1 hold both copies of partition 0; killing both
+        # exhausts the chain, which must degrade — not raise.
+        _, report = _ft_query(replication=2, kill=[0, 1])
+        assert report.partial
+        assert report.device_failures == 2
+
+    def test_device_death_mid_bfs(self):
+        _, healthy = _ft_query(replication=2)
+        _, faulted = _ft_query(
+            replication=2, kill=[0], at_time=healthy.seconds * 0.5
+        )
+        assert faulted.result == healthy.result
+        assert faulted.device_failures == 1
+        assert not faulted.partial
+
+    def test_broadcast_mode_failover(self):
+        _, healthy = _ft_query(replication=2, declustering="edge-rr")
+        _, faulted = _ft_query(replication=2, declustering="edge-rr", kill=[0])
+        assert faulted.result == healthy.result
+        assert not faulted.partial
+        _, single = _ft_query(replication=1, declustering="edge-rr", kill=[0])
+        assert single.partial
+
+    def test_berkeleydb_backend_failover(self):
+        _, healthy = _ft_query(replication=2, backend="BerkeleyDB")
+        _, faulted = _ft_query(replication=2, backend="BerkeleyDB", kill=[0])
+        assert faulted.result == healthy.result
+        assert faulted.failovers >= 1
+        assert not faulted.partial
+
+    def test_ingestion_time_fault_raises(self):
+        # Ingestion is not fault-tolerant (ROADMAP open item): a plan that
+        # is live during ingest surfaces as DeviceFailedError.
+        mssg = MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                fault_plan=FaultPlan.kill_node(1, at_time=0.0),
+            )
+        )
+        try:
+            with pytest.raises(DeviceFailedError):
+                mssg.ingest(_FT_EDGES)
+        finally:
+            mssg.close()

@@ -100,6 +100,26 @@ class TestPersistence:
         with pytest.raises(GraphStorageException):
             GrDB(node.disk, fmt=FMT, clock=node.clock)
 
+    def test_restore_discards_cached_blocks(self):
+        """``restore()`` rewinds the storage to the persisted image; blocks
+        cached since the flush (dirty ones especially) describe the
+        pre-restore state and must be dropped, not served or flushed."""
+        from repro.graphdb.grdb.storage import GrDBStorage
+
+        node = make_node()
+        st = GrDBStorage(FMT, node.disk, cache_blocks=64)
+        sub = FMT.subblock_bytes(0)
+        st.write_subblock(0, 0, b"\x01" * sub)
+        st.flush()  # persists the block and the superblock
+        st.write_subblock(0, 0, b"\x02" * sub)  # dirty, cache-only
+        assert st.restore()
+        # The cached post-flush bytes must be gone: reads see the image...
+        assert st.read_subblock(0, 0) == b"\x01" * sub
+        # ...and a later flush must not resurrect the discarded write.
+        st.flush()
+        st.cache.drop()
+        assert st.read_subblock(0, 0) == b"\x01" * sub
+
 
 class TestPrefetch:
     def test_prefetch_counts_blocks(self):

@@ -173,3 +173,26 @@ class TestOSPageCache:
         node = SimNode(0, spec)
         d1, d2 = node.disk("one"), node.disk("two")
         assert d1._os_cache is d2._os_cache is node.os_cache
+
+    def test_fragmented_read_charges_one_seek_per_miss_run(self):
+        """Pages [0..4] with 1 and 3 already cached leave three separated
+        miss runs -- [0], [2], [4] -- and each must pay its own seek.
+        (Regression: at most one seek per call was charged, and a miss
+        after an interleaved hit was costed as sequential.)"""
+        dev, clock = self.make_device(cache_pages=8)
+        dev.backing.write(0, b"z" * (5 * 4096))  # bytes exist, never read
+        dev.read(1 * 4096, 4096)  # cache page 1
+        dev.read(3 * 4096, 4096)  # cache page 3
+        dev.stats.seeks = 0
+        t0 = clock.now
+        dev.read(0, 5 * 4096)
+        assert dev.stats.seeks == 3
+        # Three full physical seeks' worth of time, not one.
+        assert clock.now - t0 >= 3 * 0.01
+
+    def test_contiguous_miss_run_still_one_seek(self):
+        dev, clock = self.make_device(cache_pages=8)
+        dev.backing.write(0, b"z" * (4 * 4096))
+        dev.stats.seeks = 0
+        dev.read(0, 4 * 4096)  # all four pages miss, one contiguous run
+        assert dev.stats.seeks == 1
