@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults test-ingest-faults lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -16,6 +16,10 @@ test-output:
 test-faults:  # fault injection / failover suite, warnings promoted to errors
 	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_fault_paths.py
 
+test-ingest-faults:  # ingestion-time failover + rebalance suite, warnings promoted to errors
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_fault_paths.py \
+		-k "Ingestion or Rebalance or WindowGreedyOwnerLookup"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -27,7 +31,8 @@ bench-quick:  # smaller workloads for a fast shape check
 
 bench-smoke:  # the batched-I/O ablation, CI-sized (fig-5.4 ratio bands need full scale)
 	REPRO_BENCH_SCALE=0.4 PYTHONPATH=src $(PYTHON) -m pytest \
-		benchmarks/bench_ablation_batchio.py --benchmark-only
+		benchmarks/bench_ablation_batchio.py benchmarks/bench_ingest_failover.py \
+		--benchmark-only
 
 lint:  # requires ruff (pip install ruff)
 	$(PYTHON) -m ruff check src/

@@ -42,6 +42,7 @@ __all__ = [
     "try_expand",
     "route_to_replicas",
     "failover_rounds",
+    "prune_known_dead_pending",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
@@ -64,6 +65,16 @@ class FaultTolerance:
     #: more is treated like a device failure (straggler demotion).
     #: ``None`` disables the timeout.
     attempt_timeout: float | None = None
+    #: Explicit per-primary holder chains (``chains[u]`` = ranks storing a
+    #: copy of partition ``u``, in routing order).  ``None`` keeps the
+    #: rotational ``{(u + j) % p : j < replication}`` shape; a rebalance
+    #: pass installs the repaired, no-longer-rotational map here.
+    chains: tuple[tuple[int, ...], ...] | None = None
+    #: Ranks already known dead before the query starts (e.g. recorded by a
+    #: rebalance pass).  Seeding them avoids the discovery round: nothing
+    #: is ever routed to them, so an already-repaired cluster pays zero
+    #: failover rounds.
+    known_dead: frozenset = frozenset()
 
 
 @dataclass
@@ -80,6 +91,28 @@ class FTState:
     failovers: int = 0  # shards this rank re-expanded for dead peers
     dropped: int = 0  # fringe vertices whose adjacency was lost
     partial: bool = False
+    #: Lazily built padded ``(p, max_chain)`` matrix of ``cfg.chains``.
+    _chain_arr: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self):
+        self.dead.update(self.cfg.known_dead)
+
+    def chain_of(self, primary: int) -> list[int]:
+        """Holder ranks of ``primary``'s partition, in routing order."""
+        if self.cfg.chains is not None:
+            return list(self.cfg.chains[primary])
+        return [(primary + j) % self.size for j in range(self.cfg.replication)]
+
+    def chain_matrix(self) -> np.ndarray:
+        """``cfg.chains`` as an int64 matrix padded with ``-1``."""
+        if self._chain_arr is None:
+            chains = self.cfg.chains
+            width = max((len(c) for c in chains), default=0)
+            arr = np.full((len(chains), max(width, 1)), -1, dtype=np.int64)
+            for u, c in enumerate(chains):
+                arr[u, : len(c)] = c
+            self._chain_arr = arr
+        return self._chain_arr
 
 
 def try_expand(ctx, db, cfg, vertices, ft: FTState, prefetch: bool = False):
@@ -116,10 +149,14 @@ def route_to_replicas(owners, ft: FTState) -> np.ndarray:
     """Map primary owners to the first surviving rank of each replica chain.
 
     Returns an int64 route array; ``-1`` marks vertices whose entire chain
-    ``{owner + j (mod size) : j < replication}`` is dead (their adjacency
-    is unreachable — the caller drops them and flags a partial result).
+    is dead (their adjacency is unreachable — the caller drops them and
+    flags a partial result).  The chain is the rotational
+    ``{owner + j (mod size) : j < replication}`` unless the config carries
+    an explicit (e.g. rebalanced) chain map.
     """
     owners = np.asarray(owners, dtype=np.int64)
+    if ft.cfg.chains is not None:
+        return _route_via_chains(owners, ft)
     routes = owners.copy()
     if not ft.dead or not len(owners):
         return routes
@@ -132,6 +169,38 @@ def route_to_replicas(owners, ft: FTState) -> np.ndarray:
         down = np.isin(routes, dead)
     routes[down] = -1
     return routes
+
+
+def _route_via_chains(owners: np.ndarray, ft: FTState) -> np.ndarray:
+    """First alive holder per owner under an explicit chain map."""
+    if not len(owners):
+        return owners.copy()
+    cand = ft.chain_matrix()[owners]  # (n, max_chain) of holder ranks
+    alive = cand >= 0
+    if ft.dead:
+        dead = np.fromiter(ft.dead, count=len(ft.dead), dtype=np.int64)
+        alive &= ~np.isin(cand, dead)
+    first = np.argmax(alive, axis=1)
+    routes = cand[np.arange(len(owners)), first]
+    routes[~alive.any(axis=1)] = -1
+    return routes
+
+
+def prune_known_dead_pending(pending, ft: FTState, rank: int, owner_of) -> np.ndarray:
+    """Bootstrap-level shard pruning for ranks recorded dead up front.
+
+    The bootstrap fringe ``{s}`` is held by *every* rank, so a rank seeded
+    dead via ``known_dead`` has nothing to fail over at level 1: whichever
+    alive holder stores the source's partition expanded the same fringe
+    against its local copy already.  Only vertices whose whole chain is dead
+    stay pending, so a truly unreachable source is still detected, dropped
+    and flagged.  This is what makes an already-rebalanced cluster pay zero
+    failover rounds.
+    """
+    if not len(pending) or rank not in ft.cfg.known_dead or owner_of is None:
+        return pending
+    routes = route_to_replicas(owner_of(pending), ft)
+    return pending[routes == -1]
 
 
 def failover_rounds(ctx, db, cfg, ft: FTState, pending, owner_of):
@@ -167,8 +236,7 @@ def failover_rounds(ctx, db, cfg, ft: FTState, pending, owner_of):
             # so a dead rank's shard is covered whenever any member of its
             # replica chain is alive; nothing needs re-sending.
             for q, shard in shards:
-                chain = [(q + j) % ft.size for j in range(ft.cfg.replication)]
-                alive = [r for r in chain if r not in ft.dead]
+                alive = [r for r in ft.chain_of(q) if r not in ft.dead]
                 if alive:
                     if comm.rank == alive[0]:
                         ft.failovers += 1

@@ -29,7 +29,14 @@ import numpy as np
 from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
 from ..util.longarray import LongArray
-from .failover import FaultTolerance, FTState, failover_rounds, route_to_replicas, try_expand
+from .failover import (
+    FaultTolerance,
+    FTState,
+    failover_rounds,
+    prune_known_dead_pending,
+    route_to_replicas,
+    try_expand,
+)
 from .visited import VisitedLevels
 
 __all__ = ["BFSConfig", "BFSRankResult", "oocbfs_program"]
@@ -101,6 +108,10 @@ def oocbfs_program(
     start_time = ctx.clock.now
     edges_before = db.stats.edges_scanned
     ft = FTState(cfg.ft, size) if cfg.ft is not None else None
+    if ft is not None and rank in ft.cfg.known_dead:
+        # This rank is on record as dead (e.g. from a rebalance pass):
+        # don't bang on the device to rediscover it.
+        ft.self_dead = True
 
     if cfg.source == cfg.dest:
         result.found_level = 0
@@ -127,6 +138,10 @@ def oocbfs_program(
             # failover rounds re-expand on a surviving replica.
             expanded = try_expand(ctx, db, cfg, fringe, ft, prefetch=cfg.prefetch)
             pending = fringe if expanded is None else np.empty(0, dtype=np.int64)
+            if levcnt == 1 and len(pending):
+                pending = prune_known_dead_pending(
+                    pending, ft, rank, owner_of if cfg.owner_known else None
+                )
             extra = yield from failover_rounds(
                 ctx, db, cfg, ft, pending, owner_of if cfg.owner_known else None
             )

@@ -22,7 +22,13 @@ from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
 from ..util.errors import DeviceFailedError
 from ..util.longarray import LongArray
-from .failover import FTState, failover_rounds, route_to_replicas, try_expand
+from .failover import (
+    FTState,
+    failover_rounds,
+    prune_known_dead_pending,
+    route_to_replicas,
+    try_expand,
+)
 from .oocbfs import BFSConfig, BFSRankResult, _merge_found
 from .visited import VisitedLevels
 
@@ -55,6 +61,10 @@ def pipelined_bfs_program(
     start_time = ctx.clock.now
     edges_before = db.stats.edges_scanned
     ft = FTState(cfg.ft, size) if cfg.ft is not None else None
+    if ft is not None and rank in ft.cfg.known_dead:
+        # This rank is on record as dead (e.g. from a rebalance pass):
+        # don't bang on the device to rediscover it.
+        ft.self_dead = True
 
     if cfg.source == cfg.dest:
         result.found_level = 0
@@ -172,6 +182,10 @@ def pipelined_bfs_program(
                 absorb(np.asarray(msg.payload, dtype=np.int64), levcnt)
 
         if ft is not None:
+            if levcnt == 1 and len(pending):
+                pending = prune_known_dead_pending(
+                    pending, ft, rank, owner_of if cfg.owner_known else None
+                )
             # Collective failover for any shard left unexpanded, then one
             # synchronous exchange to route the recovered neighbors — the
             # pipelined chunk protocol for this level has already settled,

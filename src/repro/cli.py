@@ -90,12 +90,26 @@ def _cmd_stats(args) -> int:
 
 def _cmd_search(args) -> int:
     edges = _read_edges(args.edges)
+    kill = args.kill_backend
+    if kill is not None and not 0 <= kill < args.backends:
+        print(f"--kill-backend must name a back-end in [0, {args.backends})")
+        return 2
+    if args.kill_during_ingest and kill is None:
+        print("--kill-during-ingest needs --kill-backend")
+        return 2
     config = MSSGConfig(
         num_backends=args.backends,
         num_frontends=args.frontends,
         backend=args.backend,
         declustering=args.declustering,
         replication=args.replication,
+        # An ingest-time kill must be armed before ingestion runs (virtual
+        # clocks restart at 0 for every cluster run).
+        fault_plan=(
+            FaultPlan.kill_node(args.frontends + kill, at_time=args.kill_time)
+            if args.kill_during_ingest
+            else None
+        ),
     )
     with MSSG(config) as mssg:
         report = mssg.ingest(edges)
@@ -104,20 +118,32 @@ def _cmd_search(args) -> int:
             f"virtual s ({report.edges_per_second:,.0f} edges/s"
             + (f", {report.replication} replicas)" if report.replication > 1 else ")")
         )
-        if args.kill_backend is not None:
-            if not 0 <= args.kill_backend < args.backends:
-                print(f"--kill-backend must name a back-end in [0, {args.backends})")
-                return 2
+        if report.degraded:
+            print(
+                f"   ! DEGRADED: back-end(s) {list(report.failed_backends)} died "
+                f"mid-ingest, {report.lost_entries:,} entries lost"
+            )
+        if kill is not None and not args.kill_during_ingest:
             # Installed after ingestion so the fault's virtual time is
             # measured within each query run (clocks restart per run).
             mssg.set_fault_plan(
-                FaultPlan.kill_node(
-                    args.frontends + args.kill_backend, at_time=args.kill_time
-                )
+                FaultPlan.kill_node(args.frontends + kill, at_time=args.kill_time)
             )
             print(
-                f"fault injected: back-end {args.kill_backend} dies at "
+                f"fault injected: back-end {kill} dies at "
                 f"t={args.kill_time:g}s of each query"
+            )
+        if args.rebalance:
+            rb = mssg.rebalance()
+            notes = (
+                f"; unrecoverable partitions: {list(rb.unrecoverable_partitions)}"
+                if rb.unrecoverable_partitions
+                else ""
+            )
+            print(
+                f"rebalanced: {rb.copies_restored} partition copies "
+                f"({rb.entries_copied:,} entries) re-replicated in "
+                f"{rb.seconds:.4f} s; effective replication {rb.replication}{notes}"
             )
         for pair in args.query:
             s, d = (int(x) for x in pair.split(":"))
@@ -200,6 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="virtual seconds into each query at which the fault fires",
+    )
+    q.add_argument(
+        "--kill-during-ingest",
+        action="store_true",
+        help="fire the --kill-backend fault during ingestion instead of "
+        "during each query (exercises ingestion-time failover)",
+    )
+    q.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="after ingestion (and any injected death), re-replicate dead "
+        "back-ends' partitions onto survivors before querying",
     )
     q.set_defaults(func=_cmd_search)
 

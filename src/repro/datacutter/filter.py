@@ -75,6 +75,8 @@ class FilterContext:
     _reader: Any = None  # bound by the runtime
     _writer: Any = None
     _closer: Any = None
+    _announce: Any = None
+    _dead_of: Any = None
 
     @property
     def clock(self):
@@ -82,6 +84,23 @@ class FilterContext:
 
     def compute(self, seconds: float) -> None:
         self.rank_ctx.compute(seconds)
+
+    def announce_death(self) -> None:
+        """Post this copy's death on the runtime's fault board.
+
+        Models the out-of-band control channel a DataCutter deployment
+        would use to broadcast a filter failure: peers observe the death
+        on their next :meth:`dead_copies` poll (the announcement itself is
+        charged no stream bandwidth).
+        """
+        if self._announce is not None:
+            self._announce()
+
+    def dead_copies(self, filter_name: str) -> frozenset:
+        """Copy indices of ``filter_name`` that have announced death."""
+        if self._dead_of is None:
+            return frozenset()
+        return self._dead_of(filter_name)
 
     def read(self, port: str):
         """Generator: next item from ``port`` (or END_OF_STREAM)."""

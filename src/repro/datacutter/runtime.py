@@ -39,6 +39,12 @@ class DataCutterRuntime:
         graph.validate(cluster.nranks)
         self.graph = graph
         self.cluster = cluster
+        #: Fault board: ``(filter_name, copy_index)`` pairs that announced
+        #: death via ``FilterContext.announce_death`` during this run.  The
+        #: shared set stands in for DataCutter's out-of-band control
+        #: channel; producers poll it (``FilterContext.dead_copies``) to
+        #: reroute work away from dead consumers mid-stream.
+        self.deaths: set[tuple[str, int]] = set()
         for i, s in enumerate(graph.streams):
             s.tag = _STREAM_TAG_BASE + i
 
@@ -95,6 +101,14 @@ class DataCutterRuntime:
                     continue
                 return msg.payload
 
+        deaths = self.deaths
+
+        def announce() -> None:
+            deaths.add((spec.name, copy_index))
+
+        def dead_of(filter_name: str) -> frozenset:
+            return frozenset(ci for fn, ci in deaths if fn == filter_name)
+
         ctx = FilterContext(
             rank_ctx=rank_ctx,
             filter_name=spec.name,
@@ -103,6 +117,8 @@ class DataCutterRuntime:
             _reader=reader,
             _writer=writer,
             _closer=closer,
+            _announce=announce,
+            _dead_of=dead_of,
         )
 
         def driver():

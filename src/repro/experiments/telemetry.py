@@ -13,7 +13,14 @@ from dataclasses import dataclass
 
 from ..framework import MSSG
 
-__all__ = ["NodeUtilization", "cluster_utilization", "format_utilization", "load_imbalance"]
+__all__ = [
+    "FaultSummary",
+    "NodeUtilization",
+    "cluster_utilization",
+    "fault_summary",
+    "format_utilization",
+    "load_imbalance",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +85,43 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
             )
         )
     return out
+
+
+@dataclass(frozen=True)
+class FaultSummary:
+    """Replication-health snapshot of a deployment after faults."""
+
+    #: Back-end indices whose devices are in the hard-failed state.
+    dead_backends: tuple[int, ...]
+    #: Injected faults that fired anywhere in the cluster (fail or slow).
+    faults_fired: int
+    #: Copies configured at deployment time.
+    configured_replication: int
+    #: Copies of the worst-covered partition under the current chain map
+    #: (< configured after a death, == configured again after a rebalance).
+    effective_replication: int
+    #: The last ingestion ran degraded (a back-end died mid-stream).
+    degraded_ingest: bool
+    #: Entries the last ingestion could not store on any surviving holder.
+    lost_entries: int
+
+
+def fault_summary(mssg: MSSG) -> FaultSummary:
+    """Aggregate fault/replication health for one MSSG deployment."""
+    faults = sum(
+        dev.stats.failures for node in mssg.cluster.nodes for dev in node._disks.values()
+    )
+    last = mssg.last_ingest
+    return FaultSummary(
+        dead_backends=tuple(mssg.dead_backends()),
+        faults_fired=faults,
+        configured_replication=mssg.config.replication,
+        effective_replication=getattr(
+            mssg.declusterer, "effective_replication", mssg.config.replication
+        ),
+        degraded_ingest=bool(last is not None and last.degraded),
+        lost_entries=last.lost_entries if last is not None else 0,
+    )
 
 
 def load_imbalance(rows: list[NodeUtilization], role: str = "back-end") -> float:

@@ -36,7 +36,25 @@ from .services import (
 from .simcluster import FaultPlan, NodeSpec, SimCluster
 from .util.errors import ConfigError, DeviceFailedError
 
-__all__ = ["MSSG", "MSSGConfig"]
+__all__ = ["MSSG", "MSSGConfig", "RebalanceReport"]
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one :meth:`MSSG.rebalance` pass."""
+
+    seconds: float  # virtual makespan of the re-replication run
+    dead_backends: tuple[int, ...]
+    #: Replica copies re-materialized onto surviving back-ends.
+    copies_restored: int
+    #: Directed adjacency entries copied between back-ends.
+    entries_copied: int
+    #: Effective replication factor after the pass (min copies over all
+    #: partitions; equals the configured ``k`` when repair fully succeeds).
+    replication: int
+    #: Primary partitions whose every holder died — their data is gone and
+    #: queries over them stay partial until re-ingestion.
+    unrecoverable_partitions: tuple[int, ...] = ()
 
 _DECLUSTERERS = {
     "vertex-rr": VertexRoundRobin,
@@ -179,6 +197,179 @@ class MSSG:
         """Stream an undirected edge list into the back-end GraphDBs."""
         self.last_ingest = self.ingestion.ingest(edges)
         return self.last_ingest
+
+    def dead_backends(self) -> list[int]:
+        """Back-end indices whose block device has failed (sticky)."""
+        F = self.config.num_frontends
+        out = []
+        for q in range(self.config.num_backends):
+            node = self.cluster.nodes[F + q]
+            if any(dev.failed for dev in node._disks.values()):
+                out.append(q)
+        return out
+
+    def rebalance(self) -> RebalanceReport:
+        """Re-replicate partitions held by dead back-ends onto survivors.
+
+        For every partition with a dead holder, the first surviving chain
+        member extracts its copy (``local_vertices`` filtered by the owner
+        map, adjacency read back entry by entry) and ships it to the first
+        alive back-end not already holding one, until the chain is back to
+        ``k`` copies (or the cluster runs out of alive candidates).  The
+        repaired chain map is installed on the declusterer and the deaths
+        recorded on the Query Service, so subsequent queries route shards
+        straight to the new holders with zero failover rounds.
+
+        Owner-unknown declustering (edge round-robin) scatters adjacency
+        with no per-partition extraction predicate, so replicated
+        deployments of it cannot be rebalanced — that raises ``ConfigError``.
+        A partition whose *every* holder died is unrecoverable and reported
+        as such; queries over it stay partial until re-ingestion.
+        """
+        cfg = self.config
+        F, P = cfg.num_frontends, cfg.num_backends
+        dead = self.dead_backends()
+        rep = (
+            self.declusterer
+            if isinstance(self.declusterer, ReplicatedDeclusterer)
+            else None
+        )
+        if not dead:
+            return RebalanceReport(
+                seconds=0.0,
+                dead_backends=(),
+                copies_restored=0,
+                entries_copied=0,
+                replication=rep.effective_replication if rep else 1,
+            )
+        if rep is not None and not self.declusterer.owner_known:
+            raise ConfigError(
+                "cannot rebalance owner-unknown declustering (edge-rr): no "
+                "owner map to extract a dead back-end's partitions with"
+            )
+        deadset = set(dead)
+        k = rep.replication if rep else 1
+        chains = {
+            u: (rep.replica_chain(u) if rep else [u]) for u in range(P)
+        }
+        moves: list[tuple[int, int, int]] = []  # (partition, source, target)
+        new_chains: dict[int, list[int]] = {}
+        unrecoverable: list[int] = []
+        for u in range(P):
+            holders = [t for t in chains[u] if t not in deadset]
+            if len(holders) == len(chains[u]):
+                new_chains[u] = holders
+                continue
+            if not holders:
+                unrecoverable.append(u)
+                new_chains[u] = holders
+                continue
+            missing = k - len(holders)
+            # Refill with the first alive non-holders scanning from u+1, the
+            # same direction the rotational chain grew — keeps the repaired
+            # layout close to the original placement.
+            for step in range(1, P):
+                if missing <= 0:
+                    break
+                cand = (u + step) % P
+                if cand in deadset or cand in holders:
+                    continue
+                moves.append((u, holders[0], cand))
+                holders.append(cand)
+                missing -= 1
+            new_chains[u] = holders
+
+        seconds = 0.0
+        stored_all: dict[int, int] = {}
+        failed_all: set[int] = set()
+        if moves:
+            owner_of = self.declusterer.owner_of
+            dbs = self.dbs
+            TAG = 7700
+
+            def extract(db, u: int) -> np.ndarray:
+                verts = db.local_vertices()
+                empty = np.zeros((0, 2), dtype=np.int64)
+                if not len(verts):
+                    return empty
+                mine = verts[owner_of(verts) == u]
+                rows = []
+                for v in mine:
+                    adj = db.get_adjacency(int(v))
+                    if len(adj):
+                        rows.append(
+                            np.column_stack([np.full(len(adj), v, np.int64), adj])
+                        )
+                return np.vstack(rows) if rows else empty
+
+            def program(ctx):
+                q = ctx.rank - F
+                stored: dict[int, int] = {}
+                failed: list[int] = []
+                for i, (u, src, dst) in enumerate(moves):
+                    if q == src:
+                        try:
+                            entries = extract(dbs[src], u)
+                        except DeviceFailedError:
+                            entries = None
+                        size = 8 if entries is None else 16 * len(entries) + 8
+                        # Non-blocking send: move order is shared by all
+                        # ranks and a move's source never receives for it,
+                        # so processing moves in order cannot deadlock.
+                        ctx.comm.send(F + dst, entries, tag=TAG, size=size)
+                    if q == dst:
+                        msg = yield from ctx.comm.recv(source=F + src, tag=TAG)
+                        entries = msg.payload
+                        if entries is None:
+                            failed.append(i)
+                            continue
+                        try:
+                            if len(entries):
+                                dbs[dst].store_edges(entries)
+                            stored[i] = len(entries)
+                        except DeviceFailedError:
+                            failed.append(i)
+                if stored:
+                    try:
+                        dbs[q].finalize_ingest()
+                        dbs[q].flush()
+                    except DeviceFailedError:
+                        # The new holder died before its copies hit disk:
+                        # everything it accepted this pass is void.
+                        failed.extend(stored)
+                        stored.clear()
+                return (stored, failed)
+
+            for r in self.cluster.run(program):
+                if r is None:
+                    continue
+                s, f = r
+                stored_all.update(s)
+                failed_all.update(f)
+            seconds = self.cluster.makespan
+            for i in failed_all:
+                u, _, dst = moves[i]
+                if dst in new_chains[u]:
+                    new_chains[u].remove(dst)
+
+        if rep is not None:
+            rep.set_chains([new_chains[u] for u in range(P)])
+        # Targets may have died mid-copy: record the current death set, not
+        # the one we started from.
+        self.queries.known_dead = set(self.dead_backends())
+        self.queries.fault_tolerant = True
+        if rep is not None:
+            replication = rep.effective_replication
+        else:
+            replication = 0 if unrecoverable else 1
+        return RebalanceReport(
+            seconds=seconds,
+            dead_backends=tuple(dead),
+            copies_restored=len(stored_all),
+            entries_copied=sum(stored_all.values()),
+            replication=replication,
+            unrecoverable_partitions=tuple(unrecoverable),
+        )
 
     def ingest_semantic(self, graph) -> tuple[IngestReport, dict[str, int]]:
         """Ingest a typed :class:`~repro.ontology.SemanticGraph`.

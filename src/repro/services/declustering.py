@@ -15,6 +15,18 @@ The default implementations mirror the paper: "the MSSG framework provides
 simple declustering techniques such as vertex- and edge-based round-robin
 declustering", plus a hash variant and a window-greedy balancing variant as
 the customizable-interface extension point.
+
+Determinism contract
+--------------------
+One declusterer instance is shared by all F front-end reader copies, whose
+window processing interleaves under the simulator's scheduler.  Stateful
+strategies therefore must not key their decisions on *call order*: the
+per-run protocol is ``reset()`` once, ``prepare(edges, window_size)`` once
+(a sequential planning pass over the canonical global stream), and then
+``assign_at(window, offset)`` per window, where ``offset`` is the window's
+first-edge position in the global stream.  Given that protocol, the
+partition produced for any window is a pure function of the stream — the
+same for every front-end count and copy schedule.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ __all__ = [
     "WindowGreedy",
 ]
 
+_NO_ENTRIES = np.zeros((0, 2), dtype=np.int64)
+
 
 class Declusterer(abc.ABC):
     """Routes the directed adjacency entries of an edge window to back-ends."""
@@ -51,6 +65,54 @@ class Declusterer(abc.ABC):
     def assign(self, window: np.ndarray) -> list[np.ndarray]:
         """Split one ``(E, 2)`` undirected-edge window into per-back-end
         directed adjacency entries (``dst into adj(src)``)."""
+
+    def assign_at(self, window: np.ndarray, offset: int | None = None) -> list[np.ndarray]:
+        """Assign a window known to start at global edge index ``offset``.
+
+        Stateless strategies ignore the offset; stateful ones use it so the
+        result is independent of which reader copy presents the window (and
+        in which order).  ``offset=None`` falls back to :meth:`assign`'s
+        call-order semantics.
+        """
+        return self.assign(window)
+
+    def reset(self) -> None:
+        """Clear per-run state; called once at the start of every ingest."""
+
+    def prepare(self, edges: np.ndarray, window_size: int) -> None:
+        """Sequential planning pass over the canonical global stream.
+
+        Called once per ingest, after :meth:`reset` and before any
+        ``assign_at``.  Strategies whose decisions depend on what was seen
+        *earlier in the stream* build their summary tables here, so the
+        parallel assignment phase is a pure lookup.
+        """
+
+    def assign_routed(
+        self, window: np.ndarray, dead=frozenset(), offset: int | None = None
+    ) -> tuple[list[np.ndarray], int, list[tuple[tuple[int, ...], int]]]:
+        """Like :meth:`assign_at`, but skipping ``dead`` back-ends.
+
+        Returns ``(parts, lost, copies)``: ``lost`` counts entries whose
+        every holder was dead at assignment time, and ``copies[u]`` is
+        ``(holders, n)`` — the back-ends partition ``u``'s ``n`` entries
+        were actually shipped to.  The caller correlates ``copies`` with
+        writer-side failures to count entries that died in flight on every
+        recipient.  Without replication a partition's only holder is its
+        owner, so entries bound for a dead back-end are dropped — the
+        ``replication=1`` degraded mode of ingestion-time failover.
+        """
+        parts = self.assign_at(window, offset)
+        copies: list[tuple[tuple[int, ...], int]] = []
+        lost = 0
+        for q, part in enumerate(parts):
+            if dead and q in dead:
+                lost += len(part)
+                parts[q] = _NO_ENTRIES
+                copies.append(((), len(part)))
+            else:
+                copies.append(((q,), len(part)))
+        return parts, lost, copies
 
     def owner_of(self, vertices: np.ndarray) -> np.ndarray:
         """Vectorized owner lookup (only meaningful when owner_known)."""
@@ -112,25 +174,46 @@ class EdgeRoundRobin(Declusterer):
         super().__init__(num_backends)
         self._counter = 0
 
+    def reset(self) -> None:
+        self._counter = 0
+
     def assign(self, window: np.ndarray) -> list[np.ndarray]:
         window = np.asarray(window, dtype=np.int64)
-        idx = (np.arange(len(window)) + self._counter) % self.p
+        parts = self._assign_from(window, self._counter)
         self._counter += len(window)
+        return parts
+
+    def assign_at(self, window: np.ndarray, offset: int | None = None) -> list[np.ndarray]:
+        if offset is None:
+            return self.assign(window)
+        # The i-th edge of the *stream* goes to node i % p: keyed on the
+        # window's global offset, not on how many windows this instance
+        # happened to see first — identical for every front-end count.
+        return self._assign_from(np.asarray(window, dtype=np.int64), offset)
+
+    def _assign_from(self, window: np.ndarray, start: int) -> list[np.ndarray]:
+        idx = (np.arange(len(window)) + start) % self.p
         out = []
         for q in range(self.p):
             part = window[idx == q]
-            out.append(_both_directions(part) if len(part) else np.zeros((0, 2), np.int64))
+            out.append(_both_directions(part) if len(part) else _NO_ENTRIES)
         return out
 
 
 class WindowGreedy(Declusterer):
     """Vertex granularity with greedy first-touch + load balancing.
 
-    The "smarter clustering" extension point of §3.2: within each window,
-    previously unseen vertices are assigned to the currently least-loaded
-    back-end, and subsequent edges follow the sticky assignment.  The
-    summary information is the vertex→owner table accumulated so far, so
-    the map is globally known (ingestion shares it with the query side).
+    The "smarter clustering" extension point of §3.2: previously unseen
+    vertices are assigned to the currently least-loaded back-end, and
+    subsequent edges follow the sticky assignment.  The summary information
+    is the vertex→owner table accumulated so far, so the map is globally
+    known (ingestion shares it with the query side).
+
+    The table is order-sensitive, so under the ingestion protocol it is
+    built once by :meth:`prepare` — a sequential pass over the canonical
+    global window stream — and the parallel ``assign_at`` phase is a pure
+    table lookup, independent of reader-copy interleaving.  Standalone
+    ``assign`` calls (no prepare) keep the legacy streaming behavior.
     """
 
     owner_known = True
@@ -139,9 +222,30 @@ class WindowGreedy(Declusterer):
         super().__init__(num_backends)
         self._owner: dict[int, int] = {}
         self._load = np.zeros(num_backends, dtype=np.int64)
+        self._prepared = False
+        # Sorted-array mirror of ``_owner`` for vectorized lookups.
+        self._keys = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.int64)
+        self._table_dirty = False
 
-    def assign(self, window: np.ndarray) -> list[np.ndarray]:
-        entries = _both_directions(np.asarray(window, dtype=np.int64))
+    def reset(self) -> None:
+        self._owner.clear()
+        self._load[:] = 0
+        self._prepared = False
+        self._keys = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.int64)
+        self._table_dirty = False
+
+    def prepare(self, edges: np.ndarray, window_size: int) -> None:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if window_size <= 0:
+            raise ConfigError(f"window_size must be positive, got {window_size}")
+        for start in range(0, len(edges), window_size):
+            self._greedy(_both_directions(edges[start : start + window_size]))
+        self._prepared = True
+
+    def _greedy(self, entries: np.ndarray) -> np.ndarray:
+        """First-touch least-loaded assignment; updates table and loads."""
         owners = np.empty(len(entries), dtype=np.int64)
         table = self._owner
         for i, src in enumerate(entries[:, 0]):
@@ -150,28 +254,74 @@ class WindowGreedy(Declusterer):
             if q is None:
                 q = int(np.argmin(self._load))
                 table[src] = q
+                self._table_dirty = True
             self._load[q] += 1
             owners[i] = q
+        return owners
+
+    def _table_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._table_dirty:
+            keys = np.fromiter(self._owner.keys(), dtype=np.int64, count=len(self._owner))
+            vals = np.fromiter(self._owner.values(), dtype=np.int64, count=len(self._owner))
+            order = np.argsort(keys)
+            self._keys, self._vals = keys[order], vals[order]
+            self._table_dirty = False
+        return self._keys, self._vals
+
+    def assign(self, window: np.ndarray) -> list[np.ndarray]:
+        entries = _both_directions(np.asarray(window, dtype=np.int64))
+        if self._prepared:
+            owners = self._lookup(entries[:, 0])
+        else:
+            owners = self._greedy(entries)
         return [entries[owners == q] for q in range(self.p)]
+
+    def _lookup(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorized table lookup; unseen vertices fall back to greedy."""
+        keys, vals = self._table_arrays()
+        if not len(keys):
+            return self._greedy(np.column_stack([vertices, vertices]))
+        idx = np.minimum(np.searchsorted(keys, vertices), len(keys) - 1)
+        known = keys[idx] == vertices
+        owners = np.where(known, vals[idx], -1)
+        if not known.all():
+            # Vertices outside the prepared stream (standalone use only).
+            missing = np.flatnonzero(~known)
+            vs = vertices[missing]
+            owners[missing] = self._greedy(np.column_stack([vs, vs]))
+        return owners
 
     def owner_of(self, vertices: np.ndarray) -> np.ndarray:
         vs = np.asarray(vertices, dtype=np.int64)
-        try:
-            return np.array([self._owner[int(v)] for v in vs], dtype=np.int64)
-        except KeyError as missing:
-            raise ConfigError(f"vertex {missing} was never ingested") from None
+        if not len(vs):
+            return vs.copy()
+        keys, vals = self._table_arrays()
+        if not len(keys):
+            raise ConfigError(f"vertex {int(vs[0])} was never ingested")
+        idx = np.minimum(np.searchsorted(keys, vs), len(keys) - 1)
+        known = keys[idx] == vs
+        if not known.all():
+            missing = int(vs[np.flatnonzero(~known)[0]])
+            raise ConfigError(f"vertex {missing} was never ingested")
+        return vals[idx]
 
 
 class ReplicatedDeclusterer(Declusterer):
     """k-copy wrapper around any base declusterer (rotational declustering).
 
     Data whose *primary* owner is back-end ``u`` is stored on the replica
-    chain ``{(u + j) % p : j < k}``, so every partition survives the loss
-    of any ``k - 1`` back-ends and the query side can compute a surviving
-    replica for any shard from the owner map alone.  ``owner_of`` keeps
-    reporting the primary owner — routing around dead replicas is the
-    query-side failover's job, so a healthy cluster behaves exactly like
-    the unreplicated base declusterer (just with k× the stored bytes).
+    chain ``chains[u]`` — initially the rotational ``{(u + j) % p : j < k}``
+    — so every partition survives the loss of any ``k - 1`` back-ends and
+    the query side can compute a surviving replica for any shard from the
+    owner map alone.  ``owner_of`` keeps reporting the primary owner —
+    routing around dead replicas is the failover protocol's job, so a
+    healthy cluster behaves exactly like the unreplicated base declusterer
+    (just with k× the stored bytes).
+
+    After a back-end dies, :meth:`set_chains` records the repaired layout
+    computed by ``MSSG.rebalance()`` (dead holders dropped, re-materialized
+    copies appended), and both ingestion rerouting and query failover read
+    the explicit chain map instead of assuming the rotational shape.
     """
 
     def __init__(self, base: Declusterer, replication: int):
@@ -185,15 +335,100 @@ class ReplicatedDeclusterer(Declusterer):
         self.base = base
         self.replication = replication
         self.owner_known = base.owner_known
+        #: Per-primary ordered holder chains; ``chains[u][0]`` is the
+        #: effective primary (== ``u`` until ``u`` itself dies).
+        self.chains: list[list[int]] = [
+            [(u + j) % self.p for j in range(replication)] for u in range(self.p)
+        ]
+        self._rebuild_holdings()
 
-    def assign(self, window: np.ndarray) -> list[np.ndarray]:
-        parts = self.base.assign(window)
-        k, p = self.replication, self.p
-        return [np.vstack([parts[(q - j) % p] for j in range(k)]) for q in range(p)]
+    # -- chain map ----------------------------------------------------------
 
-    def owner_of(self, vertices: np.ndarray) -> np.ndarray:
-        return self.base.owner_of(vertices)
+    def _rebuild_holdings(self) -> None:
+        """Per-holder list of base partitions, in chain-position order."""
+        tagged: list[list[tuple[int, int]]] = [[] for _ in range(self.p)]
+        for u, chain in enumerate(self.chains):
+            for pos, t in enumerate(chain):
+                tagged[t].append((pos, u))
+        self._holdings = [[u for _, u in sorted(h)] for h in tagged]
+
+    def set_chains(self, chains) -> None:
+        """Install a repaired chain map (e.g. after a rebalance pass)."""
+        chains = [list(c) for c in chains]
+        if len(chains) != self.p:
+            raise ConfigError(f"chain map needs {self.p} chains, got {len(chains)}")
+        for u, chain in enumerate(chains):
+            if len(set(chain)) != len(chain):
+                raise ConfigError(f"duplicate holder in chain of partition {u}: {chain}")
+            for t in chain:
+                if not 0 <= t < self.p:
+                    raise ConfigError(f"chain of partition {u} names back-end {t}")
+        self.chains = chains
+        self._rebuild_holdings()
+
+    def chain_map(self) -> tuple[tuple[int, ...], ...]:
+        """Immutable snapshot of the holder chains, for query-side routing."""
+        return tuple(tuple(c) for c in self.chains)
+
+    @property
+    def effective_replication(self) -> int:
+        """Copies of the worst-covered partition under the current chains."""
+        return min(len(c) for c in self.chains)
 
     def replica_chain(self, primary: int) -> list[int]:
         """The ranks storing a copy of ``primary``'s partition, in order."""
-        return [(primary + j) % self.p for j in range(self.replication)]
+        return list(self.chains[primary])
+
+    # -- protocol forwarding -------------------------------------------------
+
+    def reset(self) -> None:
+        self.base.reset()
+
+    def prepare(self, edges: np.ndarray, window_size: int) -> None:
+        self.base.prepare(edges, window_size)
+
+    def assign(self, window: np.ndarray) -> list[np.ndarray]:
+        return self._merge(self.base.assign(window))
+
+    def assign_at(self, window: np.ndarray, offset: int | None = None) -> list[np.ndarray]:
+        return self._merge(self.base.assign_at(window, offset))
+
+    def _merge(self, parts: list[np.ndarray]) -> list[np.ndarray]:
+        return [
+            np.vstack([parts[u] for u in held]) if held else _NO_ENTRIES
+            for held in self._holdings
+        ]
+
+    def assign_routed(
+        self, window: np.ndarray, dead=frozenset(), offset: int | None = None
+    ) -> tuple[list[np.ndarray], int, list[tuple[tuple[int, ...], int]]]:
+        """Death-aware assignment: each base partition goes to the alive
+        members of its chain; a partition whose whole chain is dead is
+        dropped and counted in ``lost``."""
+        base_parts = self.base.assign_at(window, offset)
+        if not dead:
+            # Healthy fast path: the exact merge (and vstack order) of
+            # assign_at, plus the per-partition copy record.
+            copies = [
+                (tuple(self.chains[u]), len(part))
+                for u, part in enumerate(base_parts)
+            ]
+            return self._merge(base_parts), 0, copies
+        collected: list[list[np.ndarray]] = [[] for _ in range(self.p)]
+        copies = []
+        lost = 0
+        for u, part in enumerate(base_parts):
+            alive = [t for t in self.chains[u] if t not in dead]
+            copies.append((tuple(alive), len(part)))
+            if not len(part):
+                continue
+            if not alive:
+                lost += len(part)
+                continue
+            for t in alive:
+                collected[t].append(part)
+        parts = [np.vstack(c) if c else _NO_ENTRIES for c in collected]
+        return parts, lost, copies
+
+    def owner_of(self, vertices: np.ndarray) -> np.ndarray:
+        return self.base.owner_of(vertices)

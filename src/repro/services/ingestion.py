@@ -11,11 +11,24 @@ Expressed as the DataCutter filter graph
     reader (x F copies, front-end ranks)  --keyed-->  writer (x P copies)
 
 exactly as Figure 3.1 lays the services out.
+
+Fault tolerance
+---------------
+A back-end whose device dies mid-stream no longer aborts the run.  The
+writer filter converts the :class:`~repro.util.errors.DeviceFailedError`
+into a death announcement on the DataCutter runtime's fault board and
+keeps draining its input (counting the entries it could not store); reader
+copies poll the board per window and reroute a dead back-end's shards to
+the surviving members of its :class:`ReplicatedDeclusterer` chain —
+``replication=1`` has no surviving holders, so the shard is dropped.  The
+outcome is flagged on the report (``degraded``, ``lost_entries``,
+``failed_backends``) instead of raised; ``MSSG.rebalance()`` restores full
+replication afterwards.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -23,7 +36,7 @@ from ..datacutter import END_OF_STREAM, DataCutterRuntime, Filter, FilterGraph
 from ..graphdb.interface import GraphDB
 from ..graphgen.stream import edge_windows, split_for_ingesters
 from ..simcluster.cluster import SimCluster
-from ..util.errors import ConfigError
+from ..util.errors import ConfigError, DeviceFailedError
 from .declustering import Declusterer
 
 __all__ = ["IngestionService", "IngestReport"]
@@ -40,45 +53,99 @@ class IngestReport:
     per_backend_entries: list[int]
     #: Copies stored of each adjacency partition (1 = unreplicated).
     replication: int = 1
+    #: A back-end died mid-stream: some partitions are stored with fewer
+    #: than ``replication`` copies (run ``MSSG.rebalance()`` to repair).
+    degraded: bool = False
+    #: Directed adjacency entries no surviving back-end holds a copy of:
+    #: shards whose whole replica chain was already dead at assignment,
+    #: plus in-flight entries that *every* recipient of their partition's
+    #: window block failed to store.
+    lost_entries: int = 0
+    #: Back-end indices (0-based, not cluster ranks) that died mid-ingest.
+    failed_backends: tuple[int, ...] = ()
 
     @property
     def edges_per_second(self) -> float:
         return self.edges_ingested / self.seconds if self.seconds else float("inf")
 
 
+@dataclass
+class _ReaderResult:
+    windows: int = 0
+    #: Entries dropped because every holder of their partition was dead.
+    lost_entries: int = 0
+    #: Per-window copy record: window offset -> ``copies`` list from
+    #: :meth:`Declusterer.assign_routed` (per base partition, the holders
+    #: its entries were shipped to and how many).  Correlated with
+    #: writer-side failures to count entries lost in flight.
+    shards: dict[int, list[tuple[tuple[int, ...], int]]] = field(default_factory=dict)
+
+
+@dataclass
+class _WriterResult:
+    stored: int = 0
+    #: Entries received after this back-end's device died (not stored here;
+    #: surviving replicas may still hold copies).
+    unstored: int = 0
+    dead: bool = False
+    #: Window offsets of the blocks this back-end failed to store.
+    unstored_offsets: list[int] = field(default_factory=list)
+
+
 class _EdgeReader(Filter):
     """Front-end filter: parse windows, decluster, emit per-back-end blocks.
 
     Instantiated as one filter spec with F copies; each copy reads its
-    contiguous share of the edge stream (selected by copy index).
+    contiguous share of the edge stream (selected by copy index).  Window
+    assignment is keyed on the window's global stream offset, so the
+    produced partitions are identical for every front-end count.
     """
 
     outputs = ("blocks",)
 
-    def __init__(self, shares: list[np.ndarray], window_size: int, declusterer: Declusterer, ascii_input: bool):
+    def __init__(
+        self,
+        shares: list[np.ndarray],
+        offsets: list[int],
+        window_size: int,
+        declusterer: Declusterer,
+        ascii_input: bool,
+    ):
         self.shares = shares
+        self.offsets = offsets
         self.window_size = window_size
         self.declusterer = declusterer
         self.ascii_input = ascii_input
 
     def process(self, ctx):
-        windows = 0
+        result = _ReaderResult()
+        offset = self.offsets[ctx.copy_index]
         for window in edge_windows(self.shares[ctx.copy_index], self.window_size):
-            windows += 1
+            result.windows += 1
             if self.ascii_input:
                 # Parsing "src dst" text lines is front-end CPU work; the
                 # paper calls out the ASCII-in/binary-out asymmetry (Fig 5.5).
                 ctx.rank_ctx.compute(len(window) * ctx.rank_ctx.cpu.ascii_parse_seconds)
-            parts = self.declusterer.assign(window)
+            dead = ctx.dead_copies("writer")
+            parts, lost, copies = self.declusterer.assign_routed(window, dead, offset)
+            result.lost_entries += lost
+            result.shards[offset] = copies
             for q, part in enumerate(parts):
                 if len(part):
-                    ctx.write("blocks", (q, part), size=16 * len(part) + 8)
+                    ctx.write("blocks", (q, offset, part), size=16 * len(part) + 8)
+            offset += len(window)
         ctx.close_output("blocks")
-        return windows
+        return result
 
 
 class _GraphDBWriter(Filter):
-    """Back-end filter: store arriving blocks into this node's GraphDB."""
+    """Back-end filter: store arriving blocks into this node's GraphDB.
+
+    A device failure mid-stream is announced on the runtime's fault board
+    and the filter keeps draining its input (the stream must terminate
+    cleanly and in-flight blocks must be accounted), instead of raising
+    through the whole ingestion.
+    """
 
     inputs = ("blocks",)
 
@@ -86,17 +153,35 @@ class _GraphDBWriter(Filter):
         self.db = db
 
     def process(self, ctx):
-        stored = 0
+        result = _WriterResult()
+
+        def died() -> None:
+            result.dead = True
+            ctx.announce_death()
+
         while True:
             item = yield from ctx.read("blocks")
             if item is END_OF_STREAM:
                 break
-            _, block = item
-            self.db.store_edges(block)
-            stored += len(block)
-        self.db.finalize_ingest()
-        self.db.flush()
-        return stored
+            _, offset, block = item
+            if result.dead:
+                result.unstored += len(block)
+                result.unstored_offsets.append(offset)
+                continue
+            try:
+                self.db.store_edges(block)
+                result.stored += len(block)
+            except DeviceFailedError:
+                died()
+                result.unstored += len(block)
+                result.unstored_offsets.append(offset)
+        if not result.dead:
+            try:
+                self.db.finalize_ingest()
+                self.db.flush()
+            except DeviceFailedError:
+                died()
+        return result
 
 
 class IngestionService:
@@ -135,11 +220,23 @@ class IngestionService:
     def ingest(self, edges: np.ndarray) -> IngestReport:
         edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
         F, P = self.num_frontends, len(self.dbs)
+        # Per-run declusterer protocol: clear any state left by a previous
+        # ingest (stale round-robin offsets / owner tables would leak into
+        # this run's assignments), then run the sequential planning pass so
+        # parallel window assignment is schedule-independent.
+        self.declusterer.reset()
+        self.declusterer.prepare(edges, self.window_size)
         shares = split_for_ingesters(edges, F)
+        offsets, acc = [], 0
+        for share in shares:
+            offsets.append(acc)
+            acc += len(share)
         graph = FilterGraph()
         graph.add_filter(
             "reader",
-            lambda: _EdgeReader(shares, self.window_size, self.declusterer, self.ascii_input),
+            lambda: _EdgeReader(
+                shares, offsets, self.window_size, self.declusterer, self.ascii_input
+            ),
             placement=list(range(F)),
         )
         graph.add_filter(
@@ -154,14 +251,33 @@ class IngestionService:
             policy="keyed", key_fn=lambda item: item[0],
         )
         results = DataCutterRuntime(graph, self.cluster).run()
-        per_backend = list(results["writer"])
+        writers: list[_WriterResult] = list(results["writer"])
+        readers: list[_ReaderResult] = list(results["reader"])
+        replication = getattr(self.declusterer, "replication", 1)
+        failed = tuple(q for q, w in enumerate(writers) if w.dead)
+        reader_lost = sum(r.lost_entries for r in readers)
+        # A copy that died in flight still exists wherever another recipient
+        # of the same window's partition stored its copy; entries are lost
+        # only when *every* back-end their partition was shipped to failed
+        # to store that window's block.
+        unstored = {q: set(w.unstored_offsets) for q, w in enumerate(writers)}
+        inflight_lost = 0
+        for r in readers:
+            for off, copies in r.shards.items():
+                for holders, n in copies:
+                    if holders and n and all(off in unstored[t] for t in holders):
+                        inflight_lost += n
+        lost = reader_lost + inflight_lost
         return IngestReport(
             seconds=self.cluster.makespan,
             edges_ingested=len(edges),
-            entries_stored=sum(per_backend),
-            windows=sum(results["reader"]),
-            per_backend_entries=per_backend,
-            replication=getattr(self.declusterer, "replication", 1),
+            entries_stored=sum(w.stored for w in writers),
+            windows=sum(r.windows for r in readers),
+            per_backend_entries=[w.stored for w in writers],
+            replication=replication,
+            degraded=bool(failed) or lost > 0,
+            lost_entries=lost,
+            failed_backends=failed,
         )
 
 

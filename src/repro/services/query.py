@@ -91,6 +91,10 @@ class QueryService:
         )
         self.max_retries = max_retries
         self.attempt_timeout = attempt_timeout
+        #: Back-end indices recorded dead by a rebalance pass.  Seeded into
+        #: every query's fault state so routing skips them outright instead
+        #: of rediscovering the deaths through failover rounds.
+        self.known_dead: set[int] = set()
         self._visited_seq = 0
         self._analyses: dict[str, Callable] = {}
         self.register("bfs", self._bfs_analysis)
@@ -158,10 +162,16 @@ class QueryService:
     def _ft(self) -> FaultTolerance | None:
         if not self.fault_tolerant:
             return None
+        # A rebalanced declusterer carries an explicit (no longer
+        # rotational) chain map; hand it to the failover protocol so
+        # shards route straight to the repaired holders.
+        chain_map = getattr(self.declusterer, "chain_map", None)
         return FaultTolerance(
             replication=self.replication,
             max_retries=self.max_retries,
             attempt_timeout=self.attempt_timeout,
+            chains=chain_map() if callable(chain_map) else None,
+            known_dead=frozenset(self.known_dead),
         )
 
     def _bfs_common(self, program, source, dest, visited, max_levels, prefetch=False, **alg_kw):

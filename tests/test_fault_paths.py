@@ -429,9 +429,9 @@ class TestQueryFailover:
         assert faulted.failovers >= 1
         assert not faulted.partial
 
-    def test_ingestion_time_fault_raises(self):
-        # Ingestion is not fault-tolerant (ROADMAP open item): a plan that
-        # is live during ingest surfaces as DeviceFailedError.
+    def test_ingestion_time_fault_no_longer_raises(self):
+        # Ingestion is fault-tolerant now: a plan live during ingest is
+        # flagged on the report instead of surfacing as DeviceFailedError.
         mssg = MSSG(
             MSSGConfig(
                 num_backends=3,
@@ -441,7 +441,289 @@ class TestQueryFailover:
             )
         )
         try:
-            with pytest.raises(DeviceFailedError):
-                mssg.ingest(_FT_EDGES)
+            report = mssg.ingest(_FT_EDGES)
+            assert report.degraded
+            assert report.failed_backends == (0,)
+            # Unreplicated: the dead owner was the only holder.
+            assert report.lost_entries > 0
+            assert report.per_backend_entries[0] == 0
         finally:
             mssg.close()
+
+
+_ALL_DECLUSTERERS = ["vertex-rr", "vertex-hash", "edge-rr", "window-greedy"]
+
+
+def _backend_contents(mssg):
+    """Per-back-end multiset of stored (vertex, neighbor) entries."""
+    out = []
+    for db in mssg.dbs:
+        rows = []
+        for v in db.local_vertices():
+            for n in db.get_adjacency(int(v)):
+                rows.append((int(v), int(n)))
+        out.append(sorted(rows))
+    return out
+
+
+class TestIngestionDeterminism:
+    """The declusterer protocol (reset/prepare/assign_at) must make
+    partitions a pure function of the stream: identical for every
+    front-end count and reader-copy schedule, for every strategy."""
+
+    @pytest.mark.parametrize("declustering", _ALL_DECLUSTERERS)
+    @pytest.mark.parametrize("replication", [1, 2])
+    def test_partitions_independent_of_frontend_count(self, declustering, replication):
+        edges = pubmed_like(300, seed=3)
+
+        def deploy(F):
+            mssg = MSSG(
+                MSSGConfig(
+                    num_backends=3,
+                    num_frontends=F,
+                    backend="HashMap",
+                    declustering=declustering,
+                    replication=replication,
+                    window_size=64,
+                )
+            )
+            try:
+                report = mssg.ingest(edges)
+                return report.per_backend_entries, _backend_contents(mssg)
+            finally:
+                mssg.close()
+
+        ref_counts, ref_contents = deploy(1)
+        for F in (2, 4):
+            counts, contents = deploy(F)
+            assert counts == ref_counts, (declustering, F)
+            assert contents == ref_contents, (declustering, F)
+
+
+class TestIngestionStateReset:
+    """Regression: stateful declusterers must not leak state between
+    successive ingest() calls on one deployment (stale round-robin
+    counters / owner tables used to shift the second run's assignments)."""
+
+    @pytest.mark.parametrize("declustering", ["edge-rr", "window-greedy"])
+    def test_second_ingest_assigns_like_the_first(self, declustering):
+        edges = pubmed_like(200, seed=5)
+        mssg = MSSG(
+            MSSGConfig(num_backends=3, backend="HashMap", declustering=declustering)
+        )
+        try:
+            first = mssg.ingest(edges)
+            second = mssg.ingest(edges)
+            assert second.per_backend_entries == first.per_backend_entries
+        finally:
+            mssg.close()
+
+
+class TestIngestionFailover:
+    """Tentpole: a back-end dying mid-ingest degrades instead of raising."""
+
+    def _deploy(self, replication, at_time=0.01, declustering="vertex-rr"):
+        return MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                replication=replication,
+                declustering=declustering,
+                fault_plan=FaultPlan.kill_node(1, at_time=at_time),
+            )
+        )
+
+    def test_replicated_kill_loses_nothing(self):
+        mssg = self._deploy(replication=2)
+        try:
+            report = mssg.ingest(_FT_EDGES)
+            assert report.degraded
+            assert report.failed_backends == (0,)
+            # Every shard bound for the dead back-end reached the surviving
+            # member of its chain.
+            assert report.lost_entries == 0
+        finally:
+            mssg.close()
+
+    def test_replicated_kill_preserves_query_answer(self):
+        _, healthy = _ft_query(replication=2)
+        mssg = self._deploy(replication=2)
+        try:
+            mssg.ingest(_FT_EDGES)
+            faulted = mssg.query_bfs(_FT_SOURCE, _FT_DEST)
+            assert faulted.result == healthy.result
+            assert not faulted.partial
+        finally:
+            mssg.close()
+
+    def test_unreplicated_kill_counts_losses(self):
+        mssg = self._deploy(replication=1)
+        try:
+            report = mssg.ingest(_FT_EDGES)
+            assert report.degraded
+            assert report.failed_backends == (0,)
+            assert report.lost_entries > 0
+        finally:
+            mssg.close()
+
+    def test_whole_chain_dead_drops_shards(self):
+        # Both holders of partition 0's chain die: its shards are lost
+        # even with replication.
+        mssg = MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                replication=2,
+                fault_plan=FaultPlan(
+                    [DiskFault(node=1, at_time=0.0), DiskFault(node=2, at_time=0.0)]
+                ),
+            )
+        )
+        try:
+            report = mssg.ingest(_FT_EDGES)
+            assert report.degraded
+            assert set(report.failed_backends) == {0, 1}
+            assert report.lost_entries > 0
+        finally:
+            mssg.close()
+
+
+class TestRebalance:
+    """Tentpole: MSSG.rebalance() restores effective replication to k and
+    post-rebalance queries pay zero failover rounds."""
+
+    @pytest.mark.parametrize("declustering", ["vertex-rr", "vertex-hash", "window-greedy"])
+    def test_restores_replication_and_failover_free_queries(self, declustering):
+        _, healthy = _ft_query(replication=2, declustering=declustering)
+        mssg = MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                replication=2,
+                declustering=declustering,
+                fault_plan=FaultPlan.kill_node(1, at_time=0.01),
+            )
+        )
+        try:
+            report = mssg.ingest(_FT_EDGES)
+            assert report.degraded and report.lost_entries == 0
+            rb = mssg.rebalance()
+            assert rb.dead_backends == (0,)
+            assert rb.replication == 2
+            assert rb.copies_restored >= 1
+            assert rb.entries_copied > 0
+            assert not rb.unrecoverable_partitions
+            for pipelined in (False, True):
+                q = mssg.query_bfs(_FT_SOURCE, _FT_DEST, pipelined=pipelined)
+                assert q.result == healthy.result
+                assert q.failovers == 0
+                assert q.device_failures == 0
+                assert not q.partial
+        finally:
+            mssg.close()
+
+    def test_noop_when_healthy(self):
+        mssg = MSSG(MSSGConfig(num_backends=3, num_frontends=1, replication=2))
+        try:
+            mssg.ingest(_FT_EDGES)
+            rb = mssg.rebalance()
+            assert rb.dead_backends == ()
+            assert rb.copies_restored == 0 and rb.entries_copied == 0
+            assert rb.replication == 2
+        finally:
+            mssg.close()
+
+    def test_owner_unknown_declustering_rejected(self):
+        mssg = MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                replication=2,
+                declustering="edge-rr",
+                fault_plan=FaultPlan.kill_node(1, at_time=0.0),
+            )
+        )
+        try:
+            mssg.ingest(_FT_EDGES)
+            with pytest.raises(ConfigError, match="owner-unknown"):
+                mssg.rebalance()
+        finally:
+            mssg.close()
+
+    def test_unreplicated_death_is_unrecoverable(self):
+        mssg = MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                replication=1,
+                fault_plan=FaultPlan.kill_node(1, at_time=0.0),
+            )
+        )
+        try:
+            mssg.ingest(_FT_EDGES)
+            rb = mssg.rebalance()
+            assert rb.unrecoverable_partitions == (0,)
+            assert rb.copies_restored == 0
+            # Queries keep working, degraded, with the death pre-recorded.
+            q = mssg.query_bfs(_FT_SOURCE, _FT_DEST)
+            assert q.partial
+        finally:
+            mssg.close()
+
+    def test_fault_summary_tracks_repair(self):
+        from repro.experiments import fault_summary
+
+        mssg = MSSG(
+            MSSGConfig(
+                num_backends=3,
+                num_frontends=1,
+                cache_blocks=4,
+                replication=2,
+                fault_plan=FaultPlan.kill_node(1, at_time=0.01),
+            )
+        )
+        try:
+            mssg.ingest(_FT_EDGES)
+            before = fault_summary(mssg)
+            assert before.dead_backends == (0,)
+            assert before.degraded_ingest
+            assert before.effective_replication == 2  # chains not yet edited
+            mssg.rebalance()
+            after = fault_summary(mssg)
+            assert after.effective_replication == 2
+            assert after.faults_fired >= 1
+        finally:
+            mssg.close()
+
+
+class TestWindowGreedyOwnerLookup:
+    def _prepared(self):
+        from repro.services.declustering import WindowGreedy
+
+        edges = pubmed_like(100, seed=9)
+        wg = WindowGreedy(3)
+        wg.reset()
+        wg.prepare(edges, 32)
+        return wg, edges
+
+    def test_vectorized_lookup_matches_table(self):
+        wg, edges = self._prepared()
+        verts = np.unique(edges)
+        got = wg.owner_of(verts)
+        assert got.tolist() == [wg._owner[int(v)] for v in verts]
+
+    def test_unknown_vertex_clean_error(self):
+        wg, _ = self._prepared()
+        with pytest.raises(ConfigError, match="vertex 999999 was never ingested"):
+            wg.owner_of(np.array([999999], dtype=np.int64))
+
+    def test_empty_table_clean_error(self):
+        from repro.services.declustering import WindowGreedy
+
+        with pytest.raises(ConfigError, match="vertex 5 was never ingested"):
+            WindowGreedy(2).owner_of(np.array([5], dtype=np.int64))
