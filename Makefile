@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-ingest-faults lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults test-ingest-faults test-direction lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -20,6 +20,9 @@ test-ingest-faults:  # ingestion-time failover + rebalance suite, warnings promo
 	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_fault_paths.py \
 		-k "Ingestion or Rebalance or WindowGreedyOwnerLookup"
 
+test-direction:  # direction-optimizing BFS suite, warnings promoted to errors
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_direction.py tests/test_bitset.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -29,9 +32,10 @@ bench-output:
 bench-quick:  # smaller workloads for a fast shape check
 	REPRO_BENCH_SCALE=0.4 REPRO_BENCH_QUERIES=6 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-smoke:  # the batched-I/O ablation, CI-sized (fig-5.4 ratio bands need full scale)
+bench-smoke:  # the batched-I/O + direction ablations, CI-sized (ratio bands need full scale)
 	REPRO_BENCH_SCALE=0.4 PYTHONPATH=src $(PYTHON) -m pytest \
-		benchmarks/bench_ablation_batchio.py benchmarks/bench_ingest_failover.py \
+		benchmarks/bench_ablation_batchio.py benchmarks/bench_ablation_direction.py \
+		benchmarks/bench_ingest_failover.py \
 		--benchmark-only
 
 lint:  # requires ruff (pip install ruff)

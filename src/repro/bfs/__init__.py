@@ -1,5 +1,12 @@
 """Parallel out-of-core BFS (Algorithms 1 and 2) and supporting structures."""
 
+from .direction import (
+    BOTTOM_UP,
+    TOP_DOWN,
+    DirectionConfig,
+    DirectionController,
+    bottom_up_level,
+)
 from .failover import FaultTolerance, FTState, failover_rounds, route_to_replicas, try_expand
 from .oocbfs import NOT_FOUND, BFSConfig, BFSRankResult, oocbfs_program
 from .pipelined import pipelined_bfs_program
@@ -9,13 +16,18 @@ from .visited import INFINITY, ExternalVisited, InMemoryVisited, VisitedLevels
 __all__ = [
     "BFSConfig",
     "BFSRankResult",
+    "BOTTOM_UP",
+    "DirectionConfig",
+    "DirectionController",
     "ExternalVisited",
     "FTState",
     "FaultTolerance",
     "INFINITY",
     "InMemoryVisited",
     "NOT_FOUND",
+    "TOP_DOWN",
     "VisitedLevels",
+    "bottom_up_level",
     "failover_rounds",
     "route_to_replicas",
     "try_expand",

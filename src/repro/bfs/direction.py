@@ -1,0 +1,309 @@
+"""Direction-optimizing BFS: the push/pull hybrid (Beamer et al., SC'12).
+
+The paper's own Figure 5.6 crossover — StreamDB's full sequential scan
+beating grDB's random-access expansion at low node counts — is the
+signature that on scale-free graphs the mid-BFS fringe touches most of the
+graph, where per-vertex adjacency requests are the wrong plan.  This module
+adds the standard remedy on top of Algorithms 1 and 2:
+
+* :class:`DirectionController` — one per rank, rank-uniform by
+  construction: its inputs are only allreduced globals (fringe out-degree
+  sum, new-fringe count, total stored edges), so every rank takes the same
+  top-down/bottom-up decision at every level without extra communication.
+  Top-down switches to bottom-up when ``edges_from_fringe > alpha *
+  edges_to_unvisited`` and back when the fringe shrinks below
+  ``n / beta`` (Beamer's hysteresis, alpha = 1/14, beta = 24).
+* :func:`bottom_up_level` — one pull level: each rank builds the global
+  fringe as a dense :class:`~repro.util.bitset.Bitset` by allgathering raw
+  words (network cost n/8 bytes per post instead of 8 bytes per fringe
+  vertex — the ndarray payload is charged by size like any other message),
+  then scans its *local unvisited* vertices' adjacency sequentially via
+  ``GraphDB.scan_adjacency(order="storage")``, claiming a vertex at its
+  first fringe-parent hit and skipping the rest of its list.  Only examined
+  entries pay ``edge_visit_seconds`` (early-exit accounting).
+
+Failover composition: dead ranks still post their (empty) bitmap and claim
+arrays, keeping every collective rank-uniform; when a device dies mid-scan
+the level runs bounded claim-exchange rounds in which the first surviving
+member of each replica chain re-scans the dead rank's responsibility set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..util.bitset import Bitset
+from ..util.errors import DeviceFailedError
+from .failover import FTState, route_to_replicas
+
+__all__ = [
+    "BOTTOM_UP",
+    "TOP_DOWN",
+    "DirectionConfig",
+    "DirectionController",
+    "bottom_up_level",
+    "merge_level_stats",
+]
+
+TOP_DOWN = "top-down"
+BOTTOM_UP = "bottom-up"
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class DirectionConfig:
+    """Hybrid-search knobs carried on :class:`~repro.bfs.BFSConfig`.
+
+    ``None`` in ``BFSConfig.direction`` disables the hybrid entirely: the
+    drivers then run the original top-down algorithms with the original
+    (two-element) level-end allreduce, byte-identical to the paper mode.
+    """
+
+    #: Global vertex-id space size (ids are ``[0, num_vertices)``); sizes
+    #: the dense fringe bitmap and the ``n/beta`` switch-back threshold.
+    num_vertices: int
+    #: Switch top-down -> bottom-up when ``m_f > alpha * m_u`` (Beamer's
+    #: ``m_f > m_u / alpha`` with alpha = 14, expressed as a factor).
+    alpha: float = 1.0 / 14.0
+    #: Switch bottom-up -> top-down when the fringe count drops below
+    #: ``num_vertices / beta``.
+    beta: float = 24.0
+    #: Forced per-level schedule for tests/ablations: entry ``i`` is the
+    #: direction of level ``i + 1``; levels past the end repeat the last
+    #: entry.  ``("bottom-up",)`` forces pure bottom-up;
+    #: ``("top-down",) * k + ("bottom-up",)`` switches at level ``k + 1``.
+    schedule: tuple[str, ...] | None = None
+
+    def __post_init__(self):
+        if self.num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        if self.schedule is not None:
+            for d in self.schedule:
+                if d not in (TOP_DOWN, BOTTOM_UP):
+                    raise ValueError(f"unknown direction {d!r} in schedule")
+
+
+class DirectionController:
+    """Per-level push/pull decision from allreduced globals only.
+
+    Every rank constructs one from the same :class:`DirectionConfig` and
+    feeds it the same allreduced level-end statistics, so the decision
+    sequence is identical on all ranks with zero extra messages.
+    """
+
+    def __init__(self, cfg: DirectionConfig):
+        self.cfg = cfg
+        self.mode = TOP_DOWN
+        #: Directed adjacency entries still reachable from unvisited
+        #: vertices (``m_u``); unknown until the first level-end allreduce
+        #: reports the global stored-edge count.
+        self._m_u: int | None = None
+        #: Out-degree sum of the current fringe (``m_f``).
+        self._m_f = 0
+        #: Current fringe vertex count (``n_f``); bootstrap fringe is {s}.
+        self._n_f = 1
+        #: Directions chosen so far, one per level (telemetry).
+        self.history: list[str] = []
+
+    def decide(self, level: int) -> str:
+        """Direction for BFS level ``level`` (1-based)."""
+        s = self.cfg.schedule
+        if s is not None:
+            mode = s[min(level - 1, len(s) - 1)]
+        elif self._m_u is None:
+            # Bootstrap: the {s} fringe has been allreduced by no one yet.
+            mode = TOP_DOWN
+        elif self.mode == TOP_DOWN:
+            mode = BOTTOM_UP if self._m_f > self.cfg.alpha * self._m_u else TOP_DOWN
+        else:
+            mode = TOP_DOWN if self._n_f * self.cfg.beta < self.cfg.num_vertices else BOTTOM_UP
+        self.mode = mode
+        self.history.append(mode)
+        return mode
+
+    def observe(self, total_new: int, fringe_degree: int, edges_stored: int = 0) -> None:
+        """Fold one level-end allreduce into the global picture.
+
+        ``fringe_degree`` is the out-degree sum of the *new* fringe (each
+        vertex counted once — fringes are owner-partitioned);
+        ``edges_stored`` seeds ``m_u`` on the first call (global directed
+        adjacency entries, already divided by the replication factor).
+        """
+        if self._m_u is None:
+            self._m_u = int(edges_stored)
+        self._m_u = max(0, self._m_u - int(fringe_degree))
+        self._m_f = int(fringe_degree)
+        self._n_f = int(total_new)
+
+
+def merge_level_stats(a, b):
+    """Allreduce merge for the extended level-end 4-tuple.
+
+    ``(found, new fringe count, new fringe out-degree sum, stored edges)``
+    — element 0 ORs, the rest sum.  The last element is only populated on
+    the first level (it seeds the controller's ``m_u``).
+    """
+    return (a[0] or b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3])
+
+
+def _scan_claims(ctx, db, bm: Bitset, candidates, dest: int, ft: FTState | None):
+    """Sequentially scan ``candidates``, claiming each at its first hit.
+
+    Returns ``(claims, examined, skipped, ok)``; ``ok`` is False when the
+    device died (or the attempt blew the failover timeout) mid-scan, in
+    which case the partial claims are discarded by the caller.  Examined
+    entries are charged ``edge_visit_seconds`` and counted in
+    ``stats.edges_scanned`` either way — the work happened.
+    """
+    claims: list[int] = []
+    examined = 0
+    skipped = 0
+    start = ctx.clock.now
+    ok = True
+    try:
+        for v, neighbors in db.scan_adjacency(candidates, order="storage"):
+            hits = np.flatnonzero(bm.get_many(neighbors))
+            if len(hits):
+                first = int(hits[0])
+                examined += first + 1
+                skipped += len(neighbors) - first - 1
+                claims.append(v)
+            else:
+                examined += len(neighbors)
+    except DeviceFailedError:
+        if ft is None:
+            raise
+        ft.self_dead = True
+        ft.device_failed = True
+        ok = False
+    ctx.clock.advance(examined * db.cpu.edge_visit_seconds)
+    db.stats.edges_scanned += examined
+    timeout = ft.cfg.attempt_timeout if ft is not None else None
+    if ok and timeout is not None and ctx.clock.now - start > timeout:
+        ft.self_dead = True
+        ft.timed_out = True
+        ok = False
+    return np.array(claims, dtype=np.int64), examined, skipped, ok
+
+
+def _responsibility(unvisited_locals: np.ndarray, rank: int, owner_of, ft: FTState | None):
+    """Unvisited local vertices this rank must scan for.
+
+    Healthy: the vertices it primarily owns.  Under failover: those whose
+    replica chain it is the first surviving member of — so a dead rank's
+    responsibility set deterministically moves to its replicas.
+    """
+    if not len(unvisited_locals):
+        return unvisited_locals
+    owners = np.asarray(owner_of(unvisited_locals), dtype=np.int64)
+    if ft is not None and ft.dead:
+        routes = route_to_replicas(owners, ft)
+        return unvisited_locals[routes == rank]
+    return unvisited_locals[owners == rank]
+
+
+def bottom_up_level(ctx, db, cfg, visited, levcnt, fringe, owner_of, ft, dircfg, result):
+    """One bottom-up (pull) BFS level; returns ``(new fringe, found_here)``.
+
+    Must be entered by every rank at the same level (guaranteed by the
+    rank-uniform controller).  The returned fringe is owner-partitioned —
+    exactly the shape the next top-down level (or the next bitmap build)
+    expects, so the two modes compose freely.
+    """
+    comm = ctx.comm
+    rank = comm.rank
+
+    # 1. Global fringe bitmap: every rank (dead ones included — the
+    # collective must stay rank-uniform) posts its local fringe as raw
+    # words; n/8 bytes on the wire per post, OR-merged zero-copy.
+    bm = Bitset(dircfg.num_vertices)
+    if len(fringe):
+        bm.set_many(fringe)
+    for words in (yield from comm.allgather(bm.words)):
+        bm.or_words(np.asarray(words, dtype=np.uint64))
+
+    if ft is None:
+        # 2a. Healthy path: scan my unvisited owned vertices; claims are
+        # owner-local, so no claim exchange is needed at all — peers learn
+        # the new fringe from the next level's bitmap/alltoall as usual.
+        candidates = _responsibility(
+            visited.unvisited_local(db.local_vertices), rank, owner_of, None
+        )
+        claims, examined, skipped, _ = _scan_claims(ctx, db, bm, candidates, cfg.dest, None)
+        visited.mark_many(claims, levcnt)
+        result.edges_examined += examined
+        result.edges_skipped += skipped
+        found_here = bool(len(claims)) and bool(np.any(claims == cfg.dest))
+        return claims, found_here
+
+    # 2b. Failover path: bounded claim-exchange rounds.  Each round every
+    # rank scans its (possibly re-assigned) responsibility set and posts
+    # ``(self_dead, claims)``; a death announced in a round hands its
+    # unscanned set to the next surviving chain members in the next round.
+    all_claims: list[np.ndarray] = []
+    scanned = _EMPTY
+    extra_rounds = 0
+    while True:
+        my_claims = _EMPTY
+        todo = _EMPTY
+        if not ft.self_dead:
+            try:
+                # Enumerating local vertices may itself touch the device
+                # (StreamDB replays its log; BerkeleyDB walks the leaves).
+                candidates = _responsibility(
+                    visited.unvisited_local(db.local_vertices), rank, owner_of, ft
+                )
+                todo = np.setdiff1d(candidates, scanned)
+            except DeviceFailedError:
+                ft.self_dead = True
+                ft.device_failed = True
+        if not ft.self_dead:
+            if len(todo):
+                if extra_rounds:
+                    ft.failovers += 1  # picked up a dead peer's shard
+                claims, examined, skipped, ok = _scan_claims(
+                    ctx, db, bm, todo, cfg.dest, ft
+                )
+                result.edges_examined += examined
+                result.edges_skipped += skipped
+                if ok:
+                    my_claims = claims
+                    scanned = np.union1d(scanned, todo)
+        prev_dead = set(ft.dead)
+        posts = yield from comm.allgather((ft.self_dead, my_claims))
+        for q, (is_dead, _) in enumerate(posts):
+            if is_dead:
+                ft.dead.add(q)
+        merged = [np.asarray(c, dtype=np.int64) for _, c in posts if len(c)]
+        if merged:
+            round_claims = np.unique(np.concatenate(merged))
+            # Every rank marks every claim: replica holders must see the
+            # vertex as visited or they would re-claim it after a later
+            # failover re-assignment.
+            visited.mark_many(round_claims, levcnt)
+            all_claims.append(round_claims)
+        if not (ft.dead - prev_dead):
+            break
+        if extra_rounds >= ft.cfg.max_retries:
+            ft.partial = True  # responsibility of the newly dead unserved
+            break
+        extra_rounds += 1
+
+    claims = np.unique(np.concatenate(all_claims)) if all_claims else _EMPTY
+    found_here = bool(len(claims)) and bool(np.any(claims == cfg.dest))
+    if not len(claims):
+        return claims, found_here
+    # 3. The next-level fringe shard of each claim is its first surviving
+    # holder under the *final* dead set (its claimer may have died right
+    # after posting).  A claim whose whole chain died is dropped — counted
+    # once, on its primary owner.
+    owners = np.asarray(owner_of(claims), dtype=np.int64)
+    routes = route_to_replicas(owners, ft)
+    lost = routes == -1
+    if lost.any():
+        ft.dropped += int((lost & (owners == rank)).sum())
+        ft.partial = True
+    return claims[routes == rank], found_here

@@ -22,13 +22,20 @@ fringe is broadcast to all processors (line 21).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
 from ..util.longarray import LongArray
+from .direction import (
+    BOTTOM_UP,
+    DirectionConfig,
+    DirectionController,
+    bottom_up_level,
+    merge_level_stats,
+)
 from .failover import (
     FaultTolerance,
     FTState,
@@ -60,6 +67,11 @@ class BFSConfig:
     #: timeout).  ``None`` disables the failover protocol entirely and runs
     #: the original algorithms with zero extra communication.
     ft: FaultTolerance | None = None
+    #: Direction-optimizing (push/pull hybrid) knobs.  ``None`` — or an
+    #: unknown vertex->owner mapping, which has no one to pull toward —
+    #: keeps the original pure top-down search, byte-identical to the
+    #: paper mode (the level-end allreduce stays the two-element tuple).
+    direction: DirectionConfig | None = None
 
 
 @dataclass
@@ -79,6 +91,14 @@ class BFSRankResult:
     device_failed: bool = False
     #: Some adjacency was never expanded — treat the result as a lower bound.
     partial: bool = False
+    #: Direction chosen per level when the hybrid is on (rank-uniform, so
+    #: identical on every rank); empty for pure top-down runs.
+    directions: list = field(default_factory=list)
+    #: Adjacency entries actually examined by bottom-up claim checks.
+    edges_examined: int = 0
+    #: Adjacency entries skipped by bottom-up early exit (claimed at an
+    #: earlier slot of the list).
+    edges_skipped: int = 0
 
 
 def _merge_found(a: tuple[bool, int], b: tuple[bool, int]) -> tuple[bool, int]:
@@ -121,81 +141,110 @@ def oocbfs_program(
     visited.mark(cfg.source, 0)
     fringe = np.array([cfg.source], dtype=np.int64)
     levcnt = 0
+    # The hybrid needs a vertex->owner map to know which unvisited vertices
+    # to pull for; in broadcast (unknown-mapping) mode it stays off.
+    dctl = (
+        DirectionController(cfg.direction)
+        if cfg.direction is not None and cfg.owner_known
+        else None
+    )
 
     while True:
         levcnt += 1
-        if ft is None:
-            if cfg.prefetch:
-                db.prefetch_fringe(fringe)
-            # Expand: adj_Gi(v) for every fringe vertex; non-local vertices
-            # contribute the empty set through the GraphDB contract.
-            out = LongArray()
-            db.expand_fringe(fringe, out)
-            neighbors = out.view()
-        else:
-            # Fault-tolerant expand: a device failure (or timeout) turns this
-            # rank's whole shard into ``pending``, which the collective
-            # failover rounds re-expand on a surviving replica.
-            expanded = try_expand(ctx, db, cfg, fringe, ft, prefetch=cfg.prefetch)
-            pending = fringe if expanded is None else np.empty(0, dtype=np.int64)
-            if levcnt == 1 and len(pending):
-                pending = prune_known_dead_pending(
-                    pending, ft, rank, owner_of if cfg.owner_known else None
-                )
-            extra = yield from failover_rounds(
-                ctx, db, cfg, ft, pending, owner_of if cfg.owner_known else None
+        if dctl is not None and dctl.decide(levcnt) == BOTTOM_UP:
+            result.directions.append(BOTTOM_UP)
+            fringe, found_here = yield from bottom_up_level(
+                ctx, db, cfg, visited, levcnt, fringe, owner_of, ft, cfg.direction, result
             )
-            pieces = [a for a in (expanded, extra) if a is not None and len(a)]
-            neighbors = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
-        found_here = bool(len(neighbors)) and bool(np.any(neighbors == cfg.dest))
-
-        candidates = np.unique(neighbors) if len(neighbors) else neighbors
-        new = visited.unvisited(candidates)
-
-        if cfg.owner_known:
-            owners = owner_of(new)
-            if ft is not None and ft.dead:
-                # Steer vertices owned by dead ranks straight to their first
-                # surviving replica; drop those whose whole chain is gone.
-                owners = route_to_replicas(owners, ft)
-                lost = owners == -1
-                if lost.any():
-                    ft.dropped += int(lost.sum())
-                    ft.partial = True
-                    visited.mark_many(new[lost], levcnt)
-                    new = new[~lost]
-                    owners = owners[~lost]
-            # Sender-side marking (line 14) for vertices we hand off; our
-            # own discoveries are marked on receipt like everyone else's.
-            remote = new[owners != rank]
-            visited.mark_many(remote, levcnt)
-            # One stable sort groups the new fringe by destination rank
-            # instead of size boolean-mask passes over the whole array.
-            order = np.argsort(owners, kind="stable")
-            grouped = new[order]
-            dests, starts = np.unique(owners[order], return_index=True)
-            bounds = np.append(starts, len(grouped))
-            parts = [np.empty(0, dtype=np.int64)] * size
-            for j, q in enumerate(dests):
-                parts[int(q)] = grouped[bounds[j] : bounds[j + 1]]
-            received = yield from comm.alltoall(parts)
+            result.fringe_vertices += len(fringe)
         else:
-            # Mapping unknown: broadcast the new fringe to all processors.
-            received = yield from comm.allgather(new)
+            if dctl is not None:
+                result.directions.append(dctl.mode)
+            if ft is None:
+                if cfg.prefetch:
+                    db.prefetch_fringe(fringe)
+                # Expand: adj_Gi(v) for every fringe vertex; non-local vertices
+                # contribute the empty set through the GraphDB contract.
+                out = LongArray()
+                db.expand_fringe(fringe, out)
+                neighbors = out.view()
+            else:
+                # Fault-tolerant expand: a device failure (or timeout) turns this
+                # rank's whole shard into ``pending``, which the collective
+                # failover rounds re-expand on a surviving replica.
+                expanded = try_expand(ctx, db, cfg, fringe, ft, prefetch=cfg.prefetch)
+                pending = fringe if expanded is None else np.empty(0, dtype=np.int64)
+                if levcnt == 1 and len(pending):
+                    pending = prune_known_dead_pending(
+                        pending, ft, rank, owner_of if cfg.owner_known else None
+                    )
+                extra = yield from failover_rounds(
+                    ctx, db, cfg, ft, pending, owner_of if cfg.owner_known else None
+                )
+                pieces = [a for a in (expanded, extra) if a is not None and len(a)]
+                neighbors = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+            found_here = bool(len(neighbors)) and bool(np.any(neighbors == cfg.dest))
 
-        incoming = (
-            np.unique(np.concatenate([np.asarray(r, dtype=np.int64) for r in received]))
-            if any(len(r) for r in received)
-            else np.empty(0, dtype=np.int64)
-        )
-        fresh = visited.unvisited(incoming)
-        visited.mark_many(fresh, levcnt)
-        fringe = fresh
-        result.fringe_vertices += len(fringe)
+            candidates = np.unique(neighbors) if len(neighbors) else neighbors
+            new = visited.unvisited(candidates)
 
-        found_any, total_new = yield from comm.allreduce(
-            (found_here, len(fringe)), _merge_found
-        )
+            if cfg.owner_known:
+                owners = owner_of(new)
+                if ft is not None and ft.dead:
+                    # Steer vertices owned by dead ranks straight to their first
+                    # surviving replica; drop those whose whole chain is gone.
+                    owners = route_to_replicas(owners, ft)
+                    lost = owners == -1
+                    if lost.any():
+                        ft.dropped += int(lost.sum())
+                        ft.partial = True
+                        visited.mark_many(new[lost], levcnt)
+                        new = new[~lost]
+                        owners = owners[~lost]
+                # Sender-side marking (line 14) for vertices we hand off; our
+                # own discoveries are marked on receipt like everyone else's.
+                remote = new[owners != rank]
+                visited.mark_many(remote, levcnt)
+                # One stable sort groups the new fringe by destination rank
+                # instead of size boolean-mask passes over the whole array.
+                order = np.argsort(owners, kind="stable")
+                grouped = new[order]
+                dests, starts = np.unique(owners[order], return_index=True)
+                bounds = np.append(starts, len(grouped))
+                parts = [np.empty(0, dtype=np.int64)] * size
+                for j, q in enumerate(dests):
+                    parts[int(q)] = grouped[bounds[j] : bounds[j + 1]]
+                received = yield from comm.alltoall(parts)
+            else:
+                # Mapping unknown: broadcast the new fringe to all processors.
+                received = yield from comm.allgather(new)
+
+            incoming = (
+                np.unique(np.concatenate([np.asarray(r, dtype=np.int64) for r in received]))
+                if any(len(r) for r in received)
+                else np.empty(0, dtype=np.int64)
+            )
+            fresh = visited.unvisited(incoming)
+            visited.mark_many(fresh, levcnt)
+            fringe = fresh
+            result.fringe_vertices += len(fringe)
+
+        if dctl is None:
+            found_any, total_new = yield from comm.allreduce(
+                (found_here, len(fringe)), _merge_found
+            )
+        else:
+            # Extended level-end allreduce: the controller's inputs ride the
+            # collective the level ends with anyway.  The stored-edge count
+            # seeds m_u on the first level only (divided by the replication
+            # factor — every copy of a partition stores the full adjacency).
+            repl = ft.cfg.replication if ft is not None else 1
+            stored = db.stats.edges_stored if levcnt == 1 else 0
+            found_any, total_new, fringe_degree, stored_total = yield from comm.allreduce(
+                (found_here, len(fringe), int(db.degree_many(fringe).sum()), stored),
+                merge_level_stats,
+            )
+            dctl.observe(total_new, fringe_degree, stored_total // max(1, repl))
         result.levels_expanded = levcnt
         if found_any:
             result.found_level = levcnt

@@ -22,6 +22,12 @@ from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
 from ..util.errors import DeviceFailedError
 from ..util.longarray import LongArray
+from .direction import (
+    BOTTOM_UP,
+    DirectionController,
+    bottom_up_level,
+    merge_level_stats,
+)
 from .failover import (
     FTState,
     failover_rounds,
@@ -82,8 +88,42 @@ def pipelined_bfs_program(
         visited.mark_many(fresh, level)
         next_fringe.extend(fresh)
 
+    # The hybrid needs a vertex->owner map to know which unvisited vertices
+    # to pull for; in broadcast (unknown-mapping) mode it stays off.
+    dctl = (
+        DirectionController(cfg.direction)
+        if cfg.direction is not None and cfg.owner_known
+        else None
+    )
+
     while True:
         levcnt += 1
+        if dctl is not None and dctl.decide(levcnt) == BOTTOM_UP:
+            # A pull level has nothing to pipeline — the fringe travels as
+            # one bitmap, not as chunks — so it bypasses the chunk protocol
+            # entirely and runs the same shared bottom-up level as
+            # Algorithm 1.  Rank-uniform: every rank takes this branch.
+            result.directions.append(BOTTOM_UP)
+            fringe, found_here = yield from bottom_up_level(
+                ctx, db, cfg, visited, levcnt, fringe, owner_of, ft, cfg.direction, result
+            )
+            result.fringe_vertices += len(fringe)
+            result.levels_expanded = levcnt
+            repl = ft.cfg.replication if ft is not None else 1
+            stored = db.stats.edges_stored if levcnt == 1 else 0
+            found_any, total_new, fringe_degree, stored_total = yield from comm.allreduce(
+                (found_here, len(fringe), int(db.degree_many(fringe).sum()), stored),
+                merge_level_stats,
+            )
+            dctl.observe(total_new, fringe_degree, stored_total // max(1, repl))
+            if found_any:
+                result.found_level = levcnt
+                break
+            if total_new == 0 or levcnt >= cfg.max_levels:
+                break
+            continue
+        if dctl is not None:
+            result.directions.append(dctl.mode)
         buffers: list[LongArray] = [LongArray() for _ in range(size)]
         sent_chunks = [0] * size
         received_chunks = [0] * size
@@ -221,9 +261,20 @@ def pipelined_bfs_program(
         result.fringe_vertices += len(fringe)
         result.levels_expanded = levcnt
 
-        found_any, total_new = yield from comm.allreduce(
-            (found_here, len(fringe)), _merge_found
-        )
+        if dctl is None:
+            found_any, total_new = yield from comm.allreduce(
+                (found_here, len(fringe)), _merge_found
+            )
+        else:
+            # Extended level-end allreduce (see Algorithm 1): the stored-edge
+            # count seeds the controller's m_u on the first level only.
+            repl = ft.cfg.replication if ft is not None else 1
+            stored = db.stats.edges_stored if levcnt == 1 else 0
+            found_any, total_new, fringe_degree, stored_total = yield from comm.allreduce(
+                (found_here, len(fringe), int(db.degree_many(fringe).sum()), stored),
+                merge_level_stats,
+            )
+            dctl.observe(total_new, fringe_degree, stored_total // max(1, repl))
         if found_any:
             result.found_level = levcnt
             break

@@ -25,6 +25,10 @@ class VisitedLevels:
 
     def __init__(self, store: MetadataStore):
         self.store = store
+        # Monotonically shrinking cache for unvisited_local(): visited
+        # vertices never become unvisited again within one BFS, so each
+        # bottom-up level only needs to re-filter the previous remainder.
+        self._unvisited_cache: np.ndarray | None = None
 
     def level(self, vertex: int) -> int:
         return self.store.get(vertex)
@@ -45,6 +49,23 @@ class VisitedLevels:
             return vs
         levels = self.store.get_many(vs)
         return vs[levels == INFINITY]
+
+    def unvisited_local(self, local_vertices) -> np.ndarray:
+        """Unvisited subset of this rank's vertices, for bottom-up scans.
+
+        ``local_vertices`` is a callable returning the full local vertex
+        array; it is invoked once, on the first bottom-up level of a query.
+        Because visited levels only ever move from infinity to a value, the
+        result shrinks monotonically — each call re-filters the previous
+        remainder instead of materializing levels for the whole local id
+        space again.
+        """
+        if self._unvisited_cache is None:
+            base = np.asarray(local_vertices(), dtype=np.int64)
+        else:
+            base = self._unvisited_cache
+        self._unvisited_cache = self.unvisited(base)
+        return self._unvisited_cache
 
 
 class InMemoryVisited(VisitedLevels):

@@ -103,6 +103,7 @@ def _cmd_search(args) -> int:
         backend=args.backend,
         declustering=args.declustering,
         replication=args.replication,
+        direction_opt=not args.no_direction_opt,
         # An ingest-time kill must be armed before ingestion runs (virtual
         # clocks restart at 0 for every cluster run).
         fault_plan=(
@@ -161,6 +162,14 @@ def _cmd_search(args) -> int:
                 f"distance({s} -> {d}) = {hops}   "
                 f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]{notes}"
             )
+            bottom_up = sum(d == "bottom-up" for d in answer.directions)
+            if bottom_up:
+                print(
+                    f"   hybrid: {bottom_up}/{len(answer.directions)} levels "
+                    f"bottom-up ({'-'.join('bu' if d == 'bottom-up' else 'td' for d in answer.directions)}), "
+                    f"{answer.edges_examined:,} edges examined, "
+                    f"{answer.edges_skipped:,} skipped by early exit"
+                )
     return 0
 
 
@@ -232,6 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fire the --kill-backend fault during ingestion instead of "
         "during each query (exercises ingestion-time failover)",
+    )
+    q.add_argument(
+        "--no-direction-opt",
+        action="store_true",
+        help="disable the direction-optimizing (push/pull hybrid) BFS and "
+        "search pure top-down like the paper's prototype",
     )
     q.add_argument(
         "--rebalance",

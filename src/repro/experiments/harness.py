@@ -97,6 +97,10 @@ class Deployment:
     #: the fringe one adjacency request at a time; the batch-I/O ablation
     #: (``bench_ablation_batchio``) flips this on explicitly.
     batch_io: bool = False
+    #: Direction-optimizing BFS.  Defaults *off* here for the same reason —
+    #: the paper's prototype searched pure top-down; the hybrid ablation
+    #: (``bench_ablation_direction``) flips this on explicitly.
+    direction_opt: bool = False
 
 
 @dataclass
@@ -156,6 +160,7 @@ def build_and_ingest(
             grdb_format=scaled_grdb_format(),
             growth_policy=deployment.growth_policy,
             batch_io=deployment.batch_io,
+            direction_opt=deployment.direction_opt,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )

@@ -79,6 +79,12 @@ class MSSGConfig:
     #: Batched/coalescing fringe expansion (``False`` = the paper
     #: prototype's per-vertex adjacency loop; results are identical).
     batch_io: bool = True
+    #: Direction-optimizing BFS: switch to bottom-up (pull) levels with a
+    #: dense bitmap fringe when the fringe's out-degree sum says a
+    #: sequential storage scan is cheaper than per-vertex expansion
+    #: (``False`` = the paper's pure top-down search; reported levels are
+    #: identical either way, only the access plan and virtual time differ).
+    direction_opt: bool = True
     node_spec: NodeSpec = field(default_factory=NodeSpec)
     storage_dir: str | None = None
     ascii_input: bool = True
@@ -175,6 +181,7 @@ class MSSG:
             fault_tolerant=(cfg.replication > 1 or cfg.fault_plan is not None) or None,
             max_retries=cfg.max_retries,
             attempt_timeout=cfg.attempt_timeout,
+            direction_opt=cfg.direction_opt,
         )
         self.last_ingest: IngestReport | None = None
 
@@ -196,6 +203,13 @@ class MSSG:
     def ingest(self, edges: np.ndarray) -> IngestReport:
         """Stream an undirected edge list into the back-end GraphDBs."""
         self.last_ingest = self.ingestion.ingest(edges)
+        # The direction-optimizing hybrid sizes its fringe bitmap from the
+        # vertex-id space; record it here so queries know it without a
+        # cluster round (grows monotonically across multiple ingests).
+        edges = np.asarray(edges)
+        if edges.size:
+            n = int(edges.max()) + 1
+            self.queries.num_vertices = max(self.queries.num_vertices or 0, n)
         return self.last_ingest
 
     def dead_backends(self) -> list[int]:

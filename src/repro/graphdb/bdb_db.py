@@ -146,6 +146,40 @@ class BerkeleyGraphDB(GraphDB):
             self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
             adjlist.extend(neighbors)
 
+    def scan_adjacency(self, vertices=None, order: str = "storage"):
+        """Walk the B-tree leaf chain once, yielding wanted vertices.
+
+        One range cursor between the smallest and largest wanted key visits
+        every leaf page in key order — the sequential plan of the bottom-up
+        BFS level.  Page I/O and B-tree CPU are charged by the cursor; the
+        per-edge claim check is the caller's (early-exit accounting).
+        """
+        if order != "storage":
+            raise ValueError(f"unknown scan order {order!r}")
+        wset = None
+        if vertices is not None:
+            wanted = np.unique(np.asarray(vertices, dtype=np.int64))
+            if len(wanted) == 0:
+                return
+            wset = set(int(v) for v in wanted)
+            it = self.store.cursor(
+                encode_key_u64_u32(int(wanted[0]), 0), encode_u64(int(wanted[-1]) + 1)
+            )
+        else:
+            it = self.store.cursor()
+        cur = None
+        chunks: list[np.ndarray] = []
+        for key, value in it:
+            vertex = int.from_bytes(key[:8], "big")
+            if vertex != cur:
+                if chunks:
+                    yield cur, np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                cur, chunks = vertex, []
+            if wset is None or vertex in wset:
+                chunks.append(self._unpack(value))
+        if chunks:
+            yield cur, np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
     def local_vertices(self) -> np.ndarray:
         seen = []
         last = None

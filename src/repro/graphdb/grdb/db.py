@@ -275,6 +275,74 @@ class GrDB(GraphDB):
         self.stats.edges_scanned += total
         self.clock.advance(total * self.cpu.edge_visit_seconds)
 
+    # -- storage-order scan (bottom-up BFS access plan) -------------------------------
+
+    def scan_adjacency(self, vertices=None, order: str = "storage"):
+        """Yield wanted vertices' lists by walking level files in block order.
+
+        The bottom-up plan: wanted vertices are sorted by level-0 sub-block
+        (ascending file offset) and resolved in windows of a few blocks'
+        worth of chains through the same level-synchronous planner as
+        :meth:`expand_fringe` — distinct blocks fetched once through the
+        cache with adjacent misses coalesced, chains followed round by
+        round.  Sub-block addressing/decoding CPU is charged here; per-edge
+        claim checks are the caller's (early-exit accounting).
+        """
+        if order != "storage":
+            raise ValueError(f"unknown scan order {order!r}")
+        if vertices is None:
+            gids = self.local_vertices()
+        else:
+            gids = np.unique(np.asarray(vertices, dtype=np.int64))
+        if len(gids) == 0:
+            return
+        locals_, owned = self.id_map.to_local_many(gids)
+        idx = np.flatnonzero(owned)
+        if len(idx) == 0:
+            return
+        scan_order = idx[np.argsort(locals_[idx], kind="stable")]
+        k_by_level = [self.fmt.subblocks_per_block(lv) for lv in range(self.fmt.num_levels)]
+        window = max(1, 4 * k_by_level[0])
+        for start in range(0, len(scan_order), window):
+            sel = scan_order[start : start + window]
+            parts: dict[int, list[np.ndarray]] = {int(i): [] for i in sel}
+            pending = [(0, int(locals_[i]), int(i)) for i in sel]
+            rounds = 0
+            while pending:
+                rounds += 1
+                if rounds > 1 << 20:
+                    raise GraphStorageException("runaway chain during storage-order scan")
+                pending.sort(key=lambda t: (t[0], t[1]))
+                wanted: dict[int, set[int]] = {}
+                for level, sb, _ in pending:
+                    wanted.setdefault(level, set()).add(sb // k_by_level[level])
+                blocks: dict[int, dict[int, bytes]] = {}
+                for level in sorted(wanted):
+                    blocks[level] = self.storage.read_block_batch(level, wanted[level])
+                    self.clock.advance(len(blocks[level]) * self.cpu.grdb_subblock_seconds)
+                nxt = []
+                for level, sb, i in pending:
+                    block, slot = divmod(sb, k_by_level[level])
+                    sub_bytes = self.fmt.subblock_bytes(level)
+                    slots = self.fmt.parse_slots(
+                        blocks[level][block][slot * sub_bytes : (slot + 1) * sub_bytes]
+                    )
+                    self.clock.advance(self.cpu.grdb_batch_subblock_seconds)
+                    last = int(slots[-1])
+                    if is_pointer(last):
+                        parts[i].append(slots[:-1])
+                        tgt_level, tgt_sb = decode_pointer(last)
+                        nxt.append((tgt_level, tgt_sb, i))
+                    else:
+                        parts[i].append(slots)
+                pending = nxt
+            for i in sel:
+                chain = parts[int(i)]
+                flat = np.concatenate(chain) if len(chain) > 1 else chain[0]
+                neighbors = flat[flat != EMPTY_SLOT].astype(np.int64)
+                if len(neighbors):
+                    yield int(gids[int(i)]), neighbors
+
     # -- prefetch (the §4.2 future-work optimization) ---------------------------------
 
     def prefetch_fringe(self, vertices) -> int:

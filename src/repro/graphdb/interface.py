@@ -91,6 +91,11 @@ class GraphDB(abc.ABC):
         self.cpu = cpu if cpu is not None else CpuProfile()
         self.metadata = metadata if metadata is not None else InMemoryMetadata()
         self.stats = GraphDBStats()
+        # In-memory out-degree census, maintained at store time.  The
+        # direction controller needs fringe out-degree sums without touching
+        # storage; a 2006-era deployment would keep the same counters in the
+        # ingest path, so no virtual time is charged for it.
+        self._degree: dict[int, int] = {}
         #: Use the batched/coalescing fringe expansion path where a backend
         #: has one (grDB, BerkeleyDB, MySQL).  ``False`` restores the
         #: per-vertex loop of the paper's prototype — the configuration the
@@ -111,6 +116,10 @@ class GraphDB(abc.ABC):
         if len(edges) and edges.min() < 0:
             raise GraphStorageException("negative vertex id in store_edges")
         self._store_edges(edges)
+        if len(edges):
+            srcs, counts = np.unique(edges[:, 0], return_counts=True)
+            for v, c in zip(srcs.tolist(), counts.tolist()):
+                self._degree[v] = self._degree.get(v, 0) + c
         self.stats.edges_stored += len(edges)
         self.stats.store_calls += 1
 
@@ -167,6 +176,46 @@ class GraphDB(abc.ABC):
         (the paper's §4.2 future-work optimization).
         """
         return 0
+
+    def degree_many(self, vertices) -> np.ndarray:
+        """Locally stored out-degree of each vertex (0 if not local).
+
+        Served from the in-memory census; costs no virtual time (see
+        ``_degree``).  Used by the direction controller to price a
+        top-down expansion of the fringe.
+        """
+        vs = np.asarray(vertices, dtype=np.int64)
+        return np.fromiter(
+            (self._degree.get(int(v), 0) for v in vs), dtype=np.int64, count=len(vs)
+        )
+
+    def scan_adjacency(self, vertices=None, order: str = "storage"):
+        """Yield ``(vertex, neighbors)`` pairs in the backend's storage order.
+
+        The bottom-up BFS access plan: instead of one random adjacency
+        request per vertex, walk storage sequentially and hand each wanted
+        vertex's list to the caller.  ``vertices=None`` means all local
+        vertices.  ``order="storage"`` (the only order) lets each backend
+        pick its cheapest sequential plan — grDB walks level files in block
+        order, StreamDB replays its log, BerkeleyDB the leaf chain, MySQL
+        one range statement over the heap, Array/HashMap memory order.
+
+        Charges storage I/O and per-structure CPU exactly like the access
+        it models, but **not** per-edge visit time — the caller owns that,
+        because bottom-up claims stop at the first fringe parent and only
+        examined entries cost CPU (early-exit accounting).  For the same
+        reason ``stats.edges_scanned`` is the caller's responsibility.
+        """
+        if order != "storage":
+            raise ValueError(f"unknown scan order {order!r}")
+        if vertices is None:
+            vs = self.local_vertices()
+        else:
+            vs = np.unique(np.asarray(vertices, dtype=np.int64))
+        for v in vs:
+            neighbors = self._get_adjacency(int(v))
+            if len(neighbors):
+                yield int(v), neighbors
 
     def local_vertices(self) -> np.ndarray:
         """Sorted global ids of vertices with locally stored adjacency.

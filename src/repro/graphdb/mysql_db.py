@@ -126,6 +126,43 @@ class MySQLGraphDB(GraphDB):
             self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
             adjlist.extend(neighbors)
 
+    def scan_adjacency(self, vertices=None, order: str = "storage"):
+        """One range SELECT answers the whole bottom-up scan.
+
+        ``WHERE src >= lo AND src <= hi ORDER BY src, chunk`` is planned by
+        MiniSQL as a sequential heap scan plus an in-memory sort — a single
+        statement round trip instead of one per vertex, which is exactly
+        the trade the bottom-up level wants from this backend.  Row parse
+        CPU is charged by the engine; per-edge claim checks are the
+        caller's (early-exit accounting).
+        """
+        if order != "storage":
+            raise ValueError(f"unknown scan order {order!r}")
+        wset = None
+        if vertices is not None:
+            wanted = np.unique(np.asarray(vertices, dtype=np.int64))
+            if len(wanted) == 0:
+                return
+            wset = set(int(v) for v in wanted)
+            rows = self.db.execute(
+                "SELECT src, adj FROM edges WHERE src >= ? AND src <= ? "
+                "ORDER BY src, chunk",
+                (int(wanted[0]), int(wanted[-1])),
+            )
+        else:
+            rows = self.db.execute("SELECT src, adj FROM edges ORDER BY src, chunk")
+        cur = None
+        chunks: list[np.ndarray] = []
+        for src, blob in rows:
+            if src != cur:
+                if chunks:
+                    yield cur, np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+                cur, chunks = src, []
+            if wset is None or src in wset:
+                chunks.append(self._unpack(blob))
+        if chunks:
+            yield cur, np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+
     def local_vertices(self) -> np.ndarray:
         rows = self.db.execute("SELECT src FROM edges")
         return np.unique(np.array([r[0] for r in rows], dtype=np.int64)) if rows else np.empty(0, dtype=np.int64)

@@ -100,6 +100,37 @@ class StreamGraphDB(GraphDB):
         self.stats.edges_scanned += len(matched)
         adjlist.extend(matched)
 
+    def scan_adjacency(self, vertices=None, order: str = "storage"):
+        """One log replay answers the whole bottom-up scan.
+
+        The storage order of StreamDB *is* the log, so the sequential plan
+        is the same full scan ``expand_fringe`` uses: stream every logged
+        edge past the CPU once, then hand out per-vertex groups.  Per-edge
+        claim-check time is the caller's (early-exit accounting).
+        """
+        if order != "storage":
+            raise ValueError(f"unknown scan order {order!r}")
+        wanted = None
+        if vertices is not None:
+            wanted = np.unique(np.asarray(vertices, dtype=np.int64))
+            if len(wanted) == 0:
+                return
+        edges = self._scan()
+        self.clock.advance(len(edges) * self.cpu.edge_visit_seconds)
+        self.log_edges_scanned += len(edges)
+        if len(edges) == 0:
+            return
+        if wanted is not None:
+            edges = edges[np.isin(edges[:, 0], wanted)]
+            if len(edges) == 0:
+                return
+        by_src = np.argsort(edges[:, 0], kind="stable")
+        srcs = edges[by_src, 0]
+        dsts = edges[by_src, 1]
+        boundaries = np.flatnonzero(np.diff(srcs)) + 1
+        for group in np.split(np.arange(len(srcs)), boundaries):
+            yield int(srcs[group[0]]), dsts[group]
+
     def local_vertices(self) -> np.ndarray:
         edges = self._scan()
         self.clock.advance(len(edges) * self.cpu.edge_visit_seconds)

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from ..bfs import (
     BFSConfig,
+    DirectionConfig,
     ExternalVisited,
     FaultTolerance,
     InMemoryVisited,
@@ -55,6 +56,13 @@ class QueryReport:
     device_failures: int = 0
     #: Total fringe vertices dropped because no replica could expand them.
     dropped_vertices: int = 0
+    #: Direction chosen per BFS level when the hybrid ran ("top-down" /
+    #: "bottom-up"); empty for pure top-down searches.
+    directions: tuple = ()
+    #: Adjacency entries examined by bottom-up claim checks (all ranks).
+    edges_examined: int = 0
+    #: Adjacency entries skipped by bottom-up early exit (all ranks).
+    edges_skipped: int = 0
 
     @property
     def edges_per_second(self) -> float:
@@ -73,6 +81,7 @@ class QueryService:
         fault_tolerant: bool | None = None,
         max_retries: int = 2,
         attempt_timeout: float | None = None,
+        direction_opt: bool = True,
     ):
         if cluster.nranks < num_frontends + len(dbs):
             raise ConfigError("cluster too small for the requested service layout")
@@ -91,6 +100,13 @@ class QueryService:
         )
         self.max_retries = max_retries
         self.attempt_timeout = attempt_timeout
+        #: Library default for the direction-optimizing hybrid; individual
+        #: queries can override with ``direction_opt=...``.
+        self.direction_opt = direction_opt
+        #: Vertex-id space size, recorded at ingest time; sizes the hybrid's
+        #: fringe bitmap.  ``None`` (nothing ingested through the façade)
+        #: keeps BFS pure top-down.
+        self.num_vertices: int | None = None
         #: Back-end indices recorded dead by a rebalance pass.  Seeded into
         #: every query's fault state so routing skips them outright instead
         #: of rediscovering the deaths through failover rounds.
@@ -174,7 +190,33 @@ class QueryService:
             known_dead=frozenset(self.known_dead),
         )
 
-    def _bfs_common(self, program, source, dest, visited, max_levels, prefetch=False, **alg_kw):
+    def _direction(self, direction_opt, direction_schedule) -> DirectionConfig | None:
+        """Build the hybrid's config for one query (``None`` = top-down).
+
+        The hybrid needs the vertex->owner map (to know whose adjacency to
+        pull) and the id-space size (to size the bitmap); without either —
+        or when turned off — BFS runs the paper's pure top-down search.
+        """
+        enabled = self.direction_opt if direction_opt is None else direction_opt
+        if not enabled or not self.declusterer.owner_known or not self.num_vertices:
+            return None
+        return DirectionConfig(
+            num_vertices=self.num_vertices,
+            schedule=tuple(direction_schedule) if direction_schedule else None,
+        )
+
+    def _bfs_common(
+        self,
+        program,
+        source,
+        dest,
+        visited,
+        max_levels,
+        prefetch=False,
+        direction_opt=None,
+        direction_schedule=None,
+        **alg_kw,
+    ):
         cfg = BFSConfig(
             source=int(source),
             dest=int(dest),
@@ -182,6 +224,7 @@ class QueryService:
             max_levels=max_levels,
             prefetch=prefetch,
             ft=self._ft(),
+            direction=self._direction(direction_opt, direction_schedule),
         )
         owner_of = self.declusterer.owner_of if self.declusterer.owner_known else None
         self._visited_seq += 1
@@ -212,11 +255,32 @@ class QueryService:
             failovers=sum(r.failovers for r in results),
             device_failures=sum(r.device_failed for r in results),
             dropped_vertices=sum(r.dropped_vertices for r in results),
+            # The direction sequence is rank-uniform by construction; take
+            # rank 0's.  Examined/skipped counts sum (disjoint scan sets).
+            directions=tuple(results[0].directions),
+            edges_examined=sum(r.edges_examined for r in results),
+            edges_skipped=sum(r.edges_skipped for r in results),
         )
 
-    def _bfs_analysis(self, source, dest, visited="memory", max_levels=64, prefetch=False):
+    def _bfs_analysis(
+        self,
+        source,
+        dest,
+        visited="memory",
+        max_levels=64,
+        prefetch=False,
+        direction_opt=None,
+        direction_schedule=None,
+    ):
         return self._bfs_common(
-            oocbfs_program, source, dest, visited, max_levels, prefetch=prefetch
+            oocbfs_program,
+            source,
+            dest,
+            visited,
+            max_levels,
+            prefetch=prefetch,
+            direction_opt=direction_opt,
+            direction_schedule=direction_schedule,
         )
 
     def _pipelined_bfs_analysis(
@@ -228,6 +292,8 @@ class QueryService:
         threshold=256,
         poll_batch=64,
         prefetch=False,
+        direction_opt=None,
+        direction_schedule=None,
     ):
         return self._bfs_common(
             pipelined_bfs_program,
@@ -236,6 +302,8 @@ class QueryService:
             visited,
             max_levels,
             prefetch=prefetch,
+            direction_opt=direction_opt,
+            direction_schedule=direction_schedule,
             threshold=threshold,
             poll_batch=poll_batch,
         )

@@ -93,3 +93,63 @@ def test_set_then_clear(to_set, to_clear):
     for i in to_clear:
         b.clear(i)
     assert set(b.to_indices().tolist()) == to_set - to_clear
+
+
+# --- raw-word API (bitmap fringe exchange) ---------------------------------
+
+
+def _reference_indices(words, nbits):
+    """Bit positions via numpy's own unpackbits, as an oracle."""
+    bits = np.unpackbits(words.view(np.uint8), bitorder="little")[:nbits]
+    return np.nonzero(bits)[0]
+
+
+@given(st.sets(st.integers(min_value=0, max_value=1022)))
+def test_count_and_indices_match_unpackbits(idxs):
+    b = Bitset(1023)  # deliberately not a multiple of 64
+    b.set_many(sorted(idxs))
+    ref = _reference_indices(b.words, 1023)
+    assert b.count() == len(ref)
+    assert b.to_indices().tolist() == ref.tolist()
+
+
+def test_words_is_live_view():
+    b = Bitset(128)
+    w = b.words
+    b.set(70)
+    assert w[1] == np.uint64(1) << np.uint64(6)
+
+
+def test_or_words_merges():
+    a, b = Bitset(200), Bitset(200)
+    a.set_many([0, 64, 150])
+    b.set_many([64, 65, 199])
+    a.or_words(b.words)
+    assert set(a.to_indices().tolist()) == {0, 64, 65, 150, 199}
+    assert set(b.to_indices().tolist()) == {64, 65, 199}  # source untouched
+
+
+def test_or_words_rejects_wrong_length():
+    a = Bitset(200)
+    with pytest.raises(ValueError):
+        a.or_words(np.zeros(1, dtype=np.uint64))
+
+
+def test_from_words_round_trip():
+    a = Bitset(130)
+    a.set_many([0, 63, 64, 129])
+    c = Bitset.from_words(a.words.copy(), 130)
+    assert c.to_indices().tolist() == a.to_indices().tolist()
+    assert len(c) == 130
+
+
+def test_from_words_is_zero_copy():
+    words = np.zeros(2, dtype=np.uint64)
+    b = Bitset.from_words(words, 128)
+    words[0] = np.uint64(1)
+    assert b.get(0)
+
+
+def test_from_words_rejects_wrong_length():
+    with pytest.raises(ValueError):
+        Bitset.from_words(np.zeros(1, dtype=np.uint64), 200)
