@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-ingest-faults test-direction lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults test-ingest-faults test-direction test-integrity lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,9 @@ test-ingest-faults:  # ingestion-time failover + rebalance suite, warnings promo
 
 test-direction:  # direction-optimizing BFS suite, warnings promoted to errors
 	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_direction.py tests/test_bitset.py
+
+test-integrity:  # checksums / corruption / read-repair / crash-recovery suite
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_integrity.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -22,8 +22,8 @@ Subpackages: ``simcluster`` (simulated cluster substrate), ``datacutter``
 harness).
 """
 
-from .framework import MSSG, MSSGConfig, RebalanceReport
+from .framework import MSSG, MSSGConfig, RebalanceReport, ScrubReport
 
 __version__ = "1.0.0"
 
-__all__ = ["MSSG", "MSSGConfig", "RebalanceReport", "__version__"]
+__all__ = ["MSSG", "MSSGConfig", "RebalanceReport", "ScrubReport", "__version__"]

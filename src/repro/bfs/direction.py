@@ -35,7 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..util.bitset import Bitset
-from ..util.errors import DeviceFailedError
+from ..util.errors import CorruptBlockError, DeviceFailedError
 from .failover import FTState, route_to_replicas
 
 __all__ = [
@@ -173,11 +173,14 @@ def _scan_claims(ctx, db, bm: Bitset, candidates, dest: int, ft: FTState | None)
                 claims.append(v)
             else:
                 examined += len(neighbors)
-    except DeviceFailedError:
+    except DeviceFailedError as e:
         if ft is None:
             raise
         ft.self_dead = True
-        ft.device_failed = True
+        if isinstance(e, CorruptBlockError):
+            ft.corrupt = True
+        else:
+            ft.device_failed = True
         ok = False
     ctx.clock.advance(examined * db.cpu.edge_visit_seconds)
     db.stats.edges_scanned += examined
@@ -257,9 +260,12 @@ def bottom_up_level(ctx, db, cfg, visited, levcnt, fringe, owner_of, ft, dircfg,
                     visited.unvisited_local(db.local_vertices), rank, owner_of, ft
                 )
                 todo = np.setdiff1d(candidates, scanned)
-            except DeviceFailedError:
+            except DeviceFailedError as e:
                 ft.self_dead = True
-                ft.device_failed = True
+                if isinstance(e, CorruptBlockError):
+                    ft.corrupt = True
+                else:
+                    ft.device_failed = True
         if not ft.self_dead:
             if len(todo):
                 if extra_rounds:

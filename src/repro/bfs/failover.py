@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..util.errors import DeviceFailedError
+from ..util.errors import CorruptBlockError, DeviceFailedError
 from ..util.longarray import LongArray
 
 __all__ = [
@@ -87,6 +87,7 @@ class FTState:
     dead: set = field(default_factory=set)
     self_dead: bool = False
     device_failed: bool = False  # own device raised DeviceFailedError
+    corrupt: bool = False  # own device returned a CRC-bad frame
     timed_out: bool = False  # own expand blew the per-attempt timeout
     failovers: int = 0  # shards this rank re-expanded for dead peers
     dropped: int = 0  # fringe vertices whose adjacency was lost
@@ -124,6 +125,13 @@ def try_expand(ctx, db, cfg, vertices, ft: FTState, prefetch: bool = False):
     charged: the work happened, the coordinator just stopped waiting),
     mirroring how a straggling disk looks indistinguishable from a dead one
     from the query's side.
+
+    A :class:`CorruptBlockError` (CRC-bad frame, detected by the checksum
+    layer) takes the same reroute path — the rank stops serving and its
+    shard fails over to the next replica — but is flagged as ``corrupt``
+    rather than ``device_failed``: the disk is alive and repairable, and
+    the query layer schedules read-repair for it instead of declaring the
+    back-end dead.
     """
     if ft.self_dead:
         return None
@@ -133,9 +141,12 @@ def try_expand(ctx, db, cfg, vertices, ft: FTState, prefetch: bool = False):
         if prefetch:
             db.prefetch_fringe(vertices)
         db.expand_fringe(vertices, out)
-    except DeviceFailedError:
+    except DeviceFailedError as e:
         ft.self_dead = True
-        ft.device_failed = True
+        if isinstance(e, CorruptBlockError):
+            ft.corrupt = True
+        else:
+            ft.device_failed = True
         return None
     timeout = ft.cfg.attempt_timeout
     if timeout is not None and ctx.clock.now - start > timeout:

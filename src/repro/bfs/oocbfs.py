@@ -89,6 +89,9 @@ class BFSRankResult:
     dropped_vertices: int = 0
     #: This rank's own device raised :class:`DeviceFailedError` mid-query.
     device_failed: bool = False
+    #: This rank's own device returned a CRC-bad frame (detected corruption;
+    #: the device still serves, so the back-end is repairable from replicas).
+    corrupt: bool = False
     #: Some adjacency was never expanded — treat the result as a lower bound.
     partial: bool = False
     #: Direction chosen per level when the hybrid is on (rank-uniform, so
@@ -258,5 +261,6 @@ def oocbfs_program(
         result.failovers = ft.failovers
         result.dropped_vertices = ft.dropped
         result.device_failed = ft.device_failed
+        result.corrupt = ft.corrupt
         result.partial = ft.partial
     return result

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..graphdb.interface import GraphDB
 from ..simcluster.cluster import RankContext
-from ..util.errors import DeviceFailedError
+from ..util.errors import CorruptBlockError, DeviceFailedError
 from ..util.longarray import LongArray
 from .direction import (
     BOTTOM_UP,
@@ -141,11 +141,14 @@ def pipelined_bfs_program(
         if cfg.prefetch and (ft is None or not ft.self_dead):
             try:
                 db.prefetch_fringe(fringe)
-            except DeviceFailedError:
+            except DeviceFailedError as e:
                 if ft is None:
                     raise
                 ft.self_dead = True
-                ft.device_failed = True
+                if isinstance(e, CorruptBlockError):
+                    ft.corrupt = True
+                else:
+                    ft.device_failed = True
         for batch_start in range(0, max(len(fringe), 1), poll_batch):
             batch = fringe[batch_start : batch_start + poll_batch]
             if ft is None:
@@ -287,5 +290,6 @@ def pipelined_bfs_program(
         result.failovers = ft.failovers
         result.dropped_vertices = ft.dropped
         result.device_failed = ft.device_failed
+        result.corrupt = ft.corrupt
         result.partial = ft.partial
     return result

@@ -19,7 +19,7 @@ import numpy as np
 
 from . import experiments
 from .framework import MSSG, MSSGConfig
-from .simcluster import FaultPlan
+from .simcluster import DiskFault, FaultPlan
 from .graphgen import (
     graph_stats,
     preferential_attachment,
@@ -97,6 +97,10 @@ def _cmd_search(args) -> int:
     if args.kill_during_ingest and kill is None:
         print("--kill-during-ingest needs --kill-backend")
         return 2
+    corrupt = args.corrupt_backend
+    if corrupt is not None and not 0 <= corrupt < args.backends:
+        print(f"--corrupt-backend must name a back-end in [0, {args.backends})")
+        return 2
     config = MSSGConfig(
         num_backends=args.backends,
         num_frontends=args.frontends,
@@ -124,16 +128,29 @@ def _cmd_search(args) -> int:
                 f"   ! DEGRADED: back-end(s) {list(report.failed_backends)} died "
                 f"mid-ingest, {report.lost_entries:,} entries lost"
             )
+        plan = FaultPlan([])
         if kill is not None and not args.kill_during_ingest:
             # Installed after ingestion so the fault's virtual time is
             # measured within each query run (clocks restart per run).
-            mssg.set_fault_plan(
-                FaultPlan.kill_node(args.frontends + kill, at_time=args.kill_time)
-            )
+            plan.add(DiskFault(node=args.frontends + kill, at_time=args.kill_time))
             print(
                 f"fault injected: back-end {kill} dies at "
                 f"t={args.kill_time:g}s of each query"
             )
+        if corrupt is not None:
+            plan.add(
+                DiskFault(
+                    node=args.frontends + corrupt,
+                    kind="corrupt",
+                    at_time=args.corrupt_time,
+                )
+            )
+            print(
+                f"fault injected: back-end {corrupt}'s stored bytes rot at "
+                f"t={args.corrupt_time:g}s of the next device operation window"
+            )
+        if len(plan):
+            mssg.set_fault_plan(plan)
         if args.rebalance:
             rb = mssg.rebalance()
             notes = (
@@ -158,6 +175,12 @@ def _cmd_search(args) -> int:
                     f"failovers: {answer.failovers}, "
                     f"dropped vertices: {answer.dropped_vertices}"
                 )
+            if answer.corrupt_backends:
+                notes += (
+                    f"   ! corruption detected on back-end(s) "
+                    f"{list(answer.corrupt_backends)}; "
+                    f"{answer.repairs} frames read-repaired"
+                )
             print(
                 f"distance({s} -> {d}) = {hops}   "
                 f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]{notes}"
@@ -170,6 +193,19 @@ def _cmd_search(args) -> int:
                     f"{answer.edges_examined:,} edges examined, "
                     f"{answer.edges_skipped:,} skipped by early exit"
                 )
+        if args.scrub:
+            sr = mssg.scrub()
+            print(
+                f"scrub: {sr.frames_scanned:,} frames verified in "
+                f"{sr.seconds:.4f} s — {sr.corrupt_frames} corrupt, "
+                f"{sr.repaired_frames} repaired, "
+                f"{sr.unrecoverable_frames} unrecoverable"
+                + (
+                    f" (back-ends {list(sr.corrupt_backends)})"
+                    if sr.corrupt_backends
+                    else ""
+                )
+            )
     return 0
 
 
@@ -253,6 +289,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="after ingestion (and any injected death), re-replicate dead "
         "back-ends' partitions onto survivors before querying",
+    )
+    q.add_argument(
+        "--corrupt-backend",
+        type=int,
+        default=None,
+        metavar="Q",
+        help="inject bit-rot: back-end Q's stored bytes flip during each "
+        "query; checksums detect it and queries read-repair from replicas",
+    )
+    q.add_argument(
+        "--corrupt-time",
+        type=float,
+        default=0.0,
+        help="virtual seconds into each query at which the bit-rot fires",
+    )
+    q.add_argument(
+        "--scrub",
+        action="store_true",
+        help="after the queries, verify every stored frame cluster-wide and "
+        "repair any remaining corruption from replicas",
     )
     q.set_defaults(func=_cmd_search)
 

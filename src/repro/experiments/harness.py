@@ -101,6 +101,11 @@ class Deployment:
     #: the paper's prototype searched pure top-down; the hybrid ablation
     #: (``bench_ablation_direction``) flips this on explicitly.
     direction_opt: bool = False
+    #: CRC32 block integrity.  Defaults *off* here — the paper's prototype
+    #: stored raw frames, and checksum framing shifts every device's
+    #: offsets/time, so the chapter-5 figures stay bit-identical; the
+    #: integrity ablation (``bench_ablation_checksums``) flips this on.
+    checksums: bool = False
 
 
 @dataclass
@@ -161,6 +166,7 @@ def build_and_ingest(
             growth_policy=deployment.growth_policy,
             batch_io=deployment.batch_io,
             direction_opt=deployment.direction_opt,
+            checksums=deployment.checksums,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )

@@ -42,6 +42,12 @@ class NodeUtilization:
     faults_fired: int = 0
     #: Devices of this node currently in the hard-failed state.
     failed_devices: int = 0
+    #: Bytes damaged in place by injected bit-rot (``corrupt``) faults.
+    corrupted_bytes: int = 0
+    #: Writes torn short by injected ``crash`` faults.
+    torn_writes: int = 0
+    #: Corrupt frames healed on this node by read-repair or scrub.
+    repaired_frames: int = 0
 
     @property
     def disk_utilization(self) -> float:
@@ -55,6 +61,7 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
     contexts = {c.rank: c for c in mssg.cluster.last_contexts}
     for node in mssg.cluster.nodes:
         busy = reads = writes = br = bw = seeks = faults = failed = 0
+        corrupted = torn = 0
         for dev in node._disks.values():
             busy += dev.stats.busy_seconds
             reads += dev.stats.reads
@@ -64,6 +71,8 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
             seeks += dev.stats.seeks
             faults += dev.stats.failures
             failed += dev.failed
+            corrupted += dev.stats.corrupted_bytes
+            torn += dev.stats.torn_writes
         ctx = contexts.get(node.index)
         live_msgs = ctx.comm.sent_messages if ctx else 0
         live_bytes = ctx.comm.sent_bytes if ctx else 0
@@ -82,6 +91,9 @@ def cluster_utilization(mssg: MSSG) -> list[NodeUtilization]:
                 bytes_sent=node.total_bytes_sent + live_bytes,
                 faults_fired=faults,
                 failed_devices=failed,
+                corrupted_bytes=corrupted,
+                torn_writes=torn,
+                repaired_frames=node.repaired_frames,
             )
         )
     return out
@@ -104,13 +116,18 @@ class FaultSummary:
     degraded_ingest: bool
     #: Entries the last ingestion could not store on any surviving holder.
     lost_entries: int
+    #: Bytes damaged in place by injected ``corrupt`` faults, cluster-wide.
+    corrupted_bytes: int = 0
+    #: Writes torn short by injected ``crash`` faults, cluster-wide.
+    torn_writes: int = 0
+    #: Corrupt frames healed by read-repair/scrub, cluster-wide.
+    repaired_frames: int = 0
 
 
 def fault_summary(mssg: MSSG) -> FaultSummary:
     """Aggregate fault/replication health for one MSSG deployment."""
-    faults = sum(
-        dev.stats.failures for node in mssg.cluster.nodes for dev in node._disks.values()
-    )
+    devs = [dev for node in mssg.cluster.nodes for dev in node._disks.values()]
+    faults = sum(dev.stats.failures for dev in devs)
     last = mssg.last_ingest
     return FaultSummary(
         dead_backends=tuple(mssg.dead_backends()),
@@ -121,6 +138,9 @@ def fault_summary(mssg: MSSG) -> FaultSummary:
         ),
         degraded_ingest=bool(last is not None and last.degraded),
         lost_entries=last.lost_entries if last is not None else 0,
+        corrupted_bytes=sum(dev.stats.corrupted_bytes for dev in devs),
+        torn_writes=sum(dev.stats.torn_writes for dev in devs),
+        repaired_frames=sum(node.repaired_frames for node in mssg.cluster.nodes),
     )
 
 
@@ -137,7 +157,7 @@ def format_utilization(rows: list[NodeUtilization]) -> str:
     header = (
         f"{'node':>4} {'role':<10} {'clock[s]':>10} {'disk busy':>10} "
         f"{'reads':>8} {'writes':>8} {'seeks':>7} {'MB rd':>7} {'MB wr':>7} "
-        f"{'msgs':>7} {'MB sent':>8} {'faults':>7}"
+        f"{'msgs':>7} {'MB sent':>8} {'faults':>7} {'corrupt':>8} {'repair':>7}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
@@ -146,6 +166,7 @@ def format_utilization(rows: list[NodeUtilization]) -> str:
             f"{r.node:>4} {r.role:<10} {r.clock_seconds:>10.4f} "
             f"{r.disk_busy_seconds:>10.4f} {r.disk_reads:>8} {r.disk_writes:>8} "
             f"{r.seeks:>7} {r.bytes_read / 1e6:>7.2f} {r.bytes_written / 1e6:>7.2f} "
-            f"{r.messages_sent:>7} {r.bytes_sent / 1e6:>8.2f} {fault_col:>7}"
+            f"{r.messages_sent:>7} {r.bytes_sent / 1e6:>8.2f} {fault_col:>7} "
+            f"{r.corrupted_bytes:>8} {r.repaired_frames:>7}"
         )
     return "\n".join(lines)

@@ -60,13 +60,16 @@ class GrDB(GraphDB):
         cache_blocks: int = 256,
         id_map: IdMap | None = None,
         growth_policy: str = "link",
+        integrity: bool = False,
         **kwargs,
     ):
         super().__init__(**kwargs)
         if growth_policy not in _POLICIES:
             raise ConfigError(f"growth_policy must be one of {_POLICIES}, got {growth_policy!r}")
         self.fmt = fmt if fmt is not None else GrDBFormat()
-        self.storage = GrDBStorage(self.fmt, device_provider, cache_blocks=cache_blocks)
+        self.storage = GrDBStorage(
+            self.fmt, device_provider, cache_blocks=cache_blocks, integrity=integrity
+        )
         self.id_map = id_map if id_map is not None else IdentityMap()
         self.growth_policy = growth_policy
         # Ingestion memo: local id -> (chain path [(level, sb), ...], used

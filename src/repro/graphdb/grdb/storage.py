@@ -10,18 +10,35 @@ adjacency lists.
 
 Never-written blocks read back as empty-slot fill (0xFF) without touching
 the device, modeling the sparse/preallocated level-0 file.
+
+With ``integrity=True`` (the checksummed deployment mode), :meth:`flush`
+becomes crash-consistent: the dirty set and the new superblock image are
+journaled to a write-ahead log (``<name>_wal``) *before* any in-place
+write, so a torn flush either never committed (the WAL commit record is
+absent or CRC-bad — recovery discards it and the old image stands) or
+rolls forward (recovery replays the journaled spans and superblock).
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Callable
 
-from ...simcluster.disk import BlockDevice
+from ...simcluster.disk import BlockDevice, MemoryBacking
 from ...storage.blockcache import LRUBlockCache
-from ...util.errors import ConfigError, GraphStorageException
+from ...util.errors import ConfigError, CorruptBlockError, GraphStorageException
 from .format import GrDBFormat
 
 __all__ = ["GrDBStorage"]
+
+#: WAL commit record: magic, sequence number, span count, span-entry bytes,
+#: superblock-image bytes.  Lives alone in the WAL's first 4 KiB frame and
+#: is written *after* the body, so its presence (with a valid frame CRC)
+#: is the commit point.
+_WAL_HEADER = struct.Struct(">QQIQQ")
+_WAL_SPAN = struct.Struct(">HIQQ")  # level, file index, device offset, length
+_WAL_MAGIC = 0x6772444257414C31  # "grDBWAL1"
+_WAL_FRAME = 4096
 
 
 class GrDBStorage:
@@ -33,10 +50,13 @@ class GrDBStorage:
         device_provider: Callable[[str], BlockDevice],
         cache_blocks: int = 256,
         name: str = "grdb",
+        integrity: bool = False,
     ):
         self.fmt = fmt
         self._provider = device_provider
         self._name = name
+        self.integrity = integrity
+        self._wal_seq = 0
         self._files: dict[tuple[int, int], BlockDevice] = {}
         self._written_blocks: set[tuple[int, int]] = set()
         # Free lists and bump allocators, per level (level 0 is id-addressed
@@ -74,7 +94,17 @@ class GrDBStorage:
             data = self.fmt.empty_block(level)
         else:
             dev, offset = self._block_location(level, block)
-            data = dev.read(offset, self.fmt.block_sizes[level])
+            B = self.fmt.block_sizes[level]
+            if offset + B > dev.size():
+                # The superblock says this block was written, but the file
+                # is too short to hold it.  Zero-padding the short read
+                # would fabricate adjacency data, so fail loudly instead.
+                raise CorruptBlockError(
+                    dev.name, offset, B,
+                    f"written block {block} of level {level} extends past "
+                    f"the stored extent ({dev.size()} bytes) — truncated file?",
+                )
+            data = dev.read(offset, B)
         self.cache.put(key, data)
         return data
 
@@ -116,6 +146,14 @@ class GrDBStorage:
                 per_file.setdefault(block // N, []).append(block)
             for file_idx, file_blocks in per_file.items():
                 dev = self._device(level, file_idx)
+                last_off = (file_blocks[-1] % N) * B  # ascending order
+                if last_off + B > dev.size():
+                    raise CorruptBlockError(
+                        dev.name, last_off, B,
+                        f"written block {file_blocks[-1]} of level {level} "
+                        f"extends past the stored extent ({dev.size()} bytes)"
+                        " — truncated file?",
+                    )
                 datas = dev.readv([((b % N) * B, B) for b in file_blocks])
                 for block, data in zip(file_blocks, datas):
                     out[block] = data
@@ -220,20 +258,134 @@ class GrDBStorage:
 
     # -- lifecycle / stats -----------------------------------------------------------
 
-    def flush(self) -> None:
-        self.cache.flush()
+    def _superblock_image(self) -> bytes:
+        """Serialize the current superblock to bytes (no device I/O)."""
         from .superblock import save_superblock
 
-        save_superblock(self._provider(f"{self._name}_super"), self)
+        scratch = BlockDevice(MemoryBacking())
+        save_superblock(scratch, self)
+        return scratch.backing.read(0, scratch.size())
+
+    def _publish_spans(self, dirty) -> list[tuple[int, int, int, bytes]]:
+        """Turn the dirty block set into frame-aligned device write spans.
+
+        Each span is ``(level, file_idx, device_offset, payload)`` with
+        offset and length multiples of the 4 KiB checksum frame, so replay
+        can overwrite torn frames blindly — an unaligned replay write would
+        read-modify-write through the checksum layer and trip over the very
+        frame it is trying to heal.  Touching spans within one file are
+        merged; when the level's block size is not frame-aligned, the gap
+        bytes come from a (verified) base read of the current content.
+        """
+        per_file: dict[tuple[int, int], list[tuple[int, bytes]]] = {}
+        for (level, block), data in dirty:
+            N = self.fmt.blocks_per_file(level)
+            file_idx, in_file = divmod(block, N)
+            per_file.setdefault((level, file_idx), []).append(
+                (in_file * self.fmt.block_sizes[level], data)
+            )
+        spans: list[tuple[int, int, int, bytes]] = []
+        for (level, file_idx), writes in sorted(per_file.items()):
+            writes.sort()
+            aligned = self.fmt.block_sizes[level] % _WAL_FRAME == 0
+            intervals: list[list[int]] = []  # [start, end), frame-aligned
+            for off, data in writes:
+                start = (off // _WAL_FRAME) * _WAL_FRAME
+                end = -(-(off + len(data)) // _WAL_FRAME) * _WAL_FRAME
+                if intervals and start <= intervals[-1][1]:
+                    intervals[-1][1] = max(intervals[-1][1], end)
+                else:
+                    intervals.append([start, end])
+            dev = self._device(level, file_idx)
+            for start, end in intervals:
+                if aligned:
+                    buf = bytearray(end - start)
+                else:
+                    buf = bytearray(dev.read(start, end - start))
+                for off, data in writes:
+                    if start <= off < end:
+                        buf[off - start : off - start + len(data)] = data
+                spans.append((level, file_idx, start, bytes(buf)))
+        return spans
+
+    def _wal_device(self) -> BlockDevice:
+        return self._provider(f"{self._name}_wal")
+
+    def flush(self) -> None:
+        from .superblock import save_superblock
+
+        if not self.integrity:
+            self.cache.flush()
+            save_superblock(self._provider(f"{self._name}_super"), self)
+            return
+        # Crash-consistent publish: journal the dirty spans and the new
+        # superblock image, commit, then apply in place.  A crash before
+        # the commit record lands leaves the old image authoritative; a
+        # crash after it rolls forward on the next restore().
+        spans = self._publish_spans(self.cache.dirty_items())
+        super_img = self._superblock_image()
+        entries = bytearray()
+        for level, file_idx, off, payload in spans:
+            entries += _WAL_SPAN.pack(level, file_idx, off, len(payload))
+            entries += payload
+        wal = self._wal_device()
+        self._wal_seq += 1
+        wal.write(_WAL_FRAME, bytes(entries) + super_img)  # body first...
+        header = _WAL_HEADER.pack(
+            _WAL_MAGIC, self._wal_seq, len(spans), len(entries), len(super_img)
+        )
+        wal.write(0, header.ljust(_WAL_FRAME, b"\x00"))  # ...commit second
+        self.cache.flush()
+        self._provider(f"{self._name}_super").write(0, super_img)
+        wal.truncate(0)
+
+    def _replay_wal(self) -> None:
+        """Recover from a torn flush: roll a committed WAL forward, discard
+        an uncommitted one.  Idempotent; no-op when the WAL is empty."""
+        wal = self._wal_device()
+        if wal.size() == 0:
+            return
+        try:
+            header = wal.read(0, _WAL_FRAME)
+            magic, seq, n_spans, entries_bytes, super_bytes = _WAL_HEADER.unpack_from(
+                header
+            )
+            if magic != _WAL_MAGIC:
+                # Crash before the commit record: the flush never happened.
+                wal.truncate(0)
+                return
+            body = wal.read(_WAL_FRAME, entries_bytes + super_bytes)
+        except CorruptBlockError:
+            # The commit record (or the body behind it) is itself torn:
+            # the flush never committed, so the old image stands.
+            wal.truncate(0)
+            return
+        entries, super_img = body[:entries_bytes], body[entries_bytes:]
+        off = 0
+        for _ in range(n_spans):
+            level, file_idx, dev_off, length = _WAL_SPAN.unpack_from(entries, off)
+            off += _WAL_SPAN.size
+            self._device(level, file_idx).write(dev_off, entries[off : off + length])
+            off += length
+        self._provider(f"{self._name}_super").write(0, super_img)
+        self._wal_seq = seq
+        wal.truncate(0)
 
     def restore(self) -> bool:
         """Adopt persisted bookkeeping from this instance's superblock.
 
         Returns False when no superblock exists (fresh instance); raises
-        when one exists but disagrees with the configured format.
+        when one exists but disagrees with the configured format, or when
+        the adopted block map points past the stored device extents (a
+        truncated or swapped level file — better a clear error here than
+        fabricated adjacency data mid-query).  With ``integrity=True`` a
+        pending write-ahead log is replayed (or discarded) first, so a
+        process killed mid-:meth:`flush` reopens onto a consistent image.
         """
         from .superblock import load_superblock
 
+        if self.integrity:
+            self._replay_wal()
         dev = self._provider(f"{self._name}_super")
         if dev.size() == 0:
             return False
@@ -250,6 +402,23 @@ class GrDBStorage:
         self._next_subblock = list(state["next_subblock"])
         self._free = [list(f) for f in state["free"]]
         self._written_blocks = set(state["written_blocks"])
+        # Cross-check the block map against what the devices actually hold:
+        # a written block past a file's extent would otherwise surface much
+        # later as a zero-padded read masquerading as adjacency data.
+        worst: dict[tuple[int, int], int] = {}
+        for level, block in self._written_blocks:
+            file_idx = block // self.fmt.blocks_per_file(level)
+            worst[(level, file_idx)] = max(worst.get((level, file_idx), -1), block)
+        for (level, file_idx), block in sorted(worst.items()):
+            dev, offset = self._block_location(level, block)
+            B = self.fmt.block_sizes[level]
+            if offset + B > dev.size():
+                raise GraphStorageException(
+                    f"superblock lists block {block} of level {level} as "
+                    f"written, but device {dev.name!r} holds only "
+                    f"{dev.size()} bytes (needs {offset + B}) — truncated "
+                    "or mismatched level file"
+                )
         return True
 
     def total_device_stats(self) -> dict[str, int]:

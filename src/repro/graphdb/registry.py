@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..simcluster.cluster import SimNode
+from ..storage.integrity import wrap_device
 from ..util.errors import ConfigError
 from .array_db import ArrayGraphDB
 from .bdb_db import BerkeleyGraphDB
@@ -36,6 +37,7 @@ def make_graphdb(
     grdb_format: GrDBFormat | None = None,
     growth_policy: str = "link",
     batch_io: bool = True,
+    checksums: bool = False,
     **extra: Any,
 ) -> GraphDB:
     """Instantiate ``backend`` on ``node``.
@@ -44,26 +46,35 @@ def make_graphdb(
     backends (0 disables caching, the Figure 5.2 ablation); ``id_map`` is
     forwarded to grDB for declustered level-0 addressing; ``batch_io``
     selects the batched/coalescing fringe-expansion path (``False`` keeps
-    the paper prototype's per-vertex loop).
+    the paper prototype's per-vertex loop); ``checksums`` puts every device
+    of the out-of-core backends behind the CRC32 frame layer
+    (:mod:`repro.storage.integrity`) and arms the crash-consistency
+    machinery (grDB's flush journal, StreamDB's durable commit records).
     """
     common = dict(clock=node.clock, cpu=node.spec.cpu, batch_io=batch_io, **extra)
+    if checksums:
+        provider = lambda name: wrap_device(node.disk(name))  # noqa: E731
+    else:
+        provider = node.disk
     if backend == "Array":
         return ArrayGraphDB(**common)
     if backend == "HashMap":
         return HashMapGraphDB(**common)
     if backend == "StreamDB":
-        return StreamGraphDB(node.disk("streamdb"), **common)
+        meta = provider("stream_meta") if checksums else None
+        return StreamGraphDB(provider("streamdb"), meta_device=meta, **common)
     if backend == "BerkeleyDB":
-        return BerkeleyGraphDB(node.disk("bdb"), cache_pages=cache_blocks, **common)
+        return BerkeleyGraphDB(provider("bdb"), cache_pages=cache_blocks, **common)
     if backend == "MySQL":
-        return MySQLGraphDB(node.disk, **common)
+        return MySQLGraphDB(provider, **common)
     if backend == "grDB":
         return GrDB(
-            node.disk,
+            provider,
             fmt=grdb_format,
             cache_blocks=cache_blocks,
             id_map=id_map,
             growth_policy=growth_policy,
+            integrity=checksums,
             **common,
         )
     raise ConfigError(f"unknown GraphDB backend {backend!r}; choose from {BACKENDS}")

@@ -10,9 +10,12 @@ the scan across the level (the paper's stated contract for this backend).
 
 from __future__ import annotations
 
+import struct
+
 import numpy as np
 
 from ..simcluster.disk import BlockDevice
+from ..util.errors import CorruptBlockError
 from ..util.longarray import LongArray
 from .interface import GraphDB
 
@@ -22,20 +25,45 @@ _EDGE_BYTES = 16  # two little-endian u64s
 _SCAN_CHUNK_EDGES = 65536
 _WRITE_BUFFER_EDGES = 8192
 
+# Durable-commit metadata (only when a meta device is supplied — the
+# checksummed deployment mode).  Logical layout on the meta device, one
+# 4 KiB frame per field so every update is a single whole-frame write:
+#
+#   0     commit slot A \  record (magic, seqno, nedges); the slot
+#   4096  commit slot B /  alternates by seqno parity, so a torn commit
+#                          write can never damage the previous commit
+#   8192  tail guard header (magic, seqno, tail frame offset)
+#   12288 tail guard payload (pre-append copy of the committed tail frame)
+#
+# The guard protects the one frame an append may read-modify-write: if the
+# device crashes mid-append, the torn write has destroyed *committed*
+# bytes, and recovery restores them from the guard.  A guard whose seqno
+# matches an adopted commit is stale (that flush completed) and ignored.
+_META_RECORD = struct.Struct(">QQQ")  # magic, seqno, nedges
+_META_MAGIC = 0x5354524D4C4F4731  # "STRMLOG1"
+_META_FRAME = 4096
+_GUARD_HEADER_OFF = 2 * _META_FRAME
+_GUARD_PAYLOAD_OFF = 3 * _META_FRAME
+
 
 class StreamGraphDB(GraphDB):
     """Append-only edge log; fringe retrieval by full sequential scan."""
 
     name = "StreamDB"
 
-    def __init__(self, device: BlockDevice, **kwargs):
+    def __init__(self, device: BlockDevice, meta_device: BlockDevice | None = None, **kwargs):
         super().__init__(**kwargs)
         self.device = device
+        self.meta_device = meta_device
         self._nedges = 0
+        self._seq = 0
         self._buffer: list[np.ndarray] = []
         self._buffered = 0
         #: Raw log entries streamed past the CPU (>> useful edges returned).
         self.log_edges_scanned = 0
+        self.restored = False
+        if meta_device is not None:
+            self.restored = self._restore()
 
     # -- ingestion ------------------------------------------------------
 
@@ -51,15 +79,105 @@ class StreamGraphDB(GraphDB):
         if not self._buffer:
             return
         data = np.ascontiguousarray(np.vstack(self._buffer)).tobytes()
-        self.device.write(self._nedges * _EDGE_BYTES, data)
+        committed = self._nedges * _EDGE_BYTES
+        guard_written = False
+        if self.meta_device is not None and committed % _META_FRAME != 0:
+            # The append below will rewrite the committed tail frame; a torn
+            # write there destroys already-durable edges.  Save the frame
+            # first (payload, then the header that makes the guard valid).
+            tail_off = (committed // _META_FRAME) * _META_FRAME
+            tail = self.device.read(tail_off, _META_FRAME)
+            self.meta_device.write(_GUARD_PAYLOAD_OFF, tail)
+            self.meta_device.write(
+                _GUARD_HEADER_OFF,
+                _META_RECORD.pack(_META_MAGIC, self._seq + 1, tail_off).ljust(
+                    _META_FRAME, b"\x00"
+                ),
+            )
+            guard_written = True
+        self.device.write(committed, data)
         self._nedges += self._buffered
         self._buffer, self._buffered = [], 0
+        if self.meta_device is not None:
+            self._seq += 1
+            record = _META_RECORD.pack(_META_MAGIC, self._seq, self._nedges)
+            slot = (self._seq % 2) * _META_FRAME
+            self.meta_device.write(slot, record.ljust(_META_FRAME, b"\x00"))
+            if guard_written:
+                self.meta_device.write(_GUARD_HEADER_OFF, b"\x00" * _META_FRAME)
+
+    def _read_meta_record(self, offset: int) -> tuple[int, int] | None:
+        """Parse one (seqno, value) meta frame; None if absent/torn.
+
+        A torn frame is rewritten as zeros so a later scrub does not count
+        crash debris the recovery already accounted for as corruption.
+        """
+        try:
+            raw = self.meta_device.read(offset, _META_FRAME)
+        except CorruptBlockError:
+            self.meta_device.write(offset, b"\x00" * _META_FRAME)
+            return None
+        magic, seq, value = _META_RECORD.unpack_from(raw)
+        if magic != _META_MAGIC:
+            return None
+        return seq, value
+
+    def _restore(self) -> bool:
+        """Adopt the newest durable commit; heal crash debris.
+
+        Reads both commit slots (a torn slot means the crash hit that very
+        commit — the other slot still holds the previous one), restores the
+        committed tail frame from the guard when an uncommitted append tore
+        it, and truncates the log to the committed extent so torn appended
+        frames vanish.  Returns True when a commit was adopted.
+        """
+        commits = [self._read_meta_record(slot * _META_FRAME) for slot in (0, 1)]
+        commits = [c for c in commits if c is not None]
+        if commits:
+            self._seq, self._nedges = max(commits)
+            guard = self._read_meta_record(_GUARD_HEADER_OFF)
+            if guard is not None and guard[0] > self._seq:
+                # The flush that wrote this guard never committed, and its
+                # append may have torn the committed tail frame — put the
+                # pre-append copy back.  (A torn guard *payload* means the
+                # crash preceded the append, so there is nothing to heal;
+                # _read_meta_record already zeroed the header.)
+                try:
+                    payload = self.meta_device.read(_GUARD_PAYLOAD_OFF, _META_FRAME)
+                    self.device.write(guard[1], payload)
+                except CorruptBlockError:
+                    pass
+            if guard is not None:
+                self.meta_device.write(_GUARD_HEADER_OFF, b"\x00" * _META_FRAME)
+        # A crash can tear the guard-payload write itself; the frame is
+        # never referenced (its header never landed) but would read as
+        # corruption forever.  Zero the debris so scrubs stay honest.
+        if self.meta_device.size() > _GUARD_PAYLOAD_OFF:
+            try:
+                self.meta_device.read(_GUARD_PAYLOAD_OFF, _META_FRAME)
+            except CorruptBlockError:
+                self.meta_device.write(_GUARD_PAYLOAD_OFF, b"\x00" * _META_FRAME)
+        # Drop torn appended frames past the committed extent (everything,
+        # when no commit ever landed).
+        committed = self._nedges * _EDGE_BYTES
+        frames_end = -(-committed // _META_FRAME) * _META_FRAME
+        if self.device.size() > frames_end:
+            self.device.truncate(frames_end)
+        return bool(commits)
 
     # -- retrieval ---------------------------------------------------------
 
     def _scan(self) -> "np.ndarray":
         """Stream the whole edge log from disk in large sequential chunks."""
         self.flush()
+        if self._nedges and self.device.size() < self._nedges * _EDGE_BYTES:
+            raise CorruptBlockError(
+                self.device.name,
+                self.device.size(),
+                self._nedges * _EDGE_BYTES - self.device.size(),
+                f"edge log holds {self.device.size()} bytes but "
+                f"{self._nedges} edges are committed — truncated log?",
+            )
         chunks = []
         offset = 0
         remaining = self._nedges

@@ -54,6 +54,13 @@ class QueryReport:
     failovers: int = 0
     #: Back-end devices that failed (raised DeviceFailedError) mid-query.
     device_failures: int = 0
+    #: Back-ends (sub-communicator indices) whose device returned a CRC-bad
+    #: frame mid-query; their shards failed over like dead ranks, but the
+    #: devices are alive and the façade schedules read-repair for them.
+    corrupt_backends: tuple = ()
+    #: Corrupt frames rewritten from clean replica data after the query
+    #: (read-repair).  0 when nothing was corrupt or replication is 1.
+    repairs: int = 0
     #: Total fringe vertices dropped because no replica could expand them.
     dropped_vertices: int = 0
     #: Direction chosen per BFS level when the hybrid ran ("top-down" /
@@ -82,6 +89,7 @@ class QueryService:
         max_retries: int = 2,
         attempt_timeout: float | None = None,
         direction_opt: bool = True,
+        checksums: bool = False,
     ):
         if cluster.nranks < num_frontends + len(dbs):
             raise ConfigError("cluster too small for the requested service layout")
@@ -103,6 +111,9 @@ class QueryService:
         #: Library default for the direction-optimizing hybrid; individual
         #: queries can override with ``direction_opt=...``.
         self.direction_opt = direction_opt
+        #: Put per-query scratch devices (the external visited structure)
+        #: behind the CRC32 frame layer too, matching the back-end stores.
+        self.checksums = checksums
         #: Vertex-id space size, recorded at ingest time; sizes the hybrid's
         #: fringe bitmap.  ``None`` (nothing ingested through the façade)
         #: keeps BFS pure top-down.
@@ -172,7 +183,12 @@ class QueryService:
         if kind == "external":
             # A fresh scratch file per query: level marks must not leak
             # between searches.
-            return ExternalVisited(ctx.node.disk(f"visited-{seq}"))
+            dev = ctx.node.disk(f"visited-{seq}")
+            if self.checksums:
+                from ..storage.integrity import wrap_device
+
+                dev = wrap_device(dev)
+            return ExternalVisited(dev)
         raise ConfigError(f"unknown visited structure {kind!r}")
 
     def _ft(self) -> FaultTolerance | None:
@@ -254,6 +270,9 @@ class QueryService:
             partial=any(r.partial for r in results),
             failovers=sum(r.failovers for r in results),
             device_failures=sum(r.device_failed for r in results),
+            corrupt_backends=tuple(
+                q for q, r in enumerate(results) if getattr(r, "corrupt", False)
+            ),
             dropped_vertices=sum(r.dropped_vertices for r in results),
             # The direction sequence is rank-uniform by construction; take
             # rank 0's.  Examined/skipped counts sum (disjoint scan sets).

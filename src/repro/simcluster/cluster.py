@@ -54,6 +54,8 @@ class SimNode:
         self.total_run_seconds = 0.0
         self.total_messages_sent = 0
         self.total_bytes_sent = 0
+        #: Corrupt frames healed on this node's devices by read-repair/scrub.
+        self.repaired_frames = 0
         # One kernel page cache per node, shared by all its devices.
         self.os_cache: OSPageCache | None = None
         if spec.disk.os_cache_bytes > 0:
@@ -147,6 +149,8 @@ class SimCluster:
         base = spec if spec is not None else NodeSpec()
         self.specs = list(specs) if specs is not None else [base] * nranks
         self.nranks = nranks
+        if fault_plan is not None:
+            fault_plan.validate(nranks)
         self.fault_plan = fault_plan
         self.nodes = [
             SimNode(i, self.specs[i], storage_dir, fault_plan=fault_plan)
@@ -160,8 +164,14 @@ class SimCluster:
 
         Covers devices that already exist (e.g. created during ingestion)
         as well as ones created later, so a plan can be installed *between*
-        a healthy ingest and the query it is meant to disturb.
+        a healthy ingest and the query it is meant to disturb.  The plan is
+        validated against this cluster first (node indices in range, known
+        fault kinds) — a typo'd plan that could never fire raises
+        :class:`~repro.util.errors.ConfigError` instead of silently
+        reading like a survived fault.
         """
+        if plan is not None:
+            plan.validate(self.nranks)
         self.fault_plan = plan
         for node in self.nodes:
             node.install_fault_plan(plan)

@@ -84,6 +84,10 @@ class MemoryBacking:
     def size(self) -> int:
         return len(self._buf)
 
+    def truncate(self, nbytes: int) -> None:
+        if nbytes < len(self._buf):
+            del self._buf[nbytes:]
+
     def close(self) -> None:
         pass
 
@@ -118,6 +122,10 @@ class FileBacking:
         self._f.seek(0, os.SEEK_END)
         return self._f.tell()
 
+    def truncate(self, nbytes: int) -> None:
+        if nbytes < self.size():
+            self._f.truncate(nbytes)
+
     def close(self) -> None:
         self._f.close()
 
@@ -133,6 +141,10 @@ class DiskStats:
     seeks: int = 0
     busy_seconds: float = 0.0
     failures: int = 0  # injected faults that fired on this device
+    #: Bytes damaged in place by injected ``corrupt`` faults (bit rot).
+    corrupted_bytes: int = 0
+    #: Writes torn short by an injected ``crash`` fault.
+    torn_writes: int = 0
 
     def snapshot(self) -> "DiskStats":
         return DiskStats(**vars(self))
@@ -174,6 +186,7 @@ class BlockDevice:
         self._faults: list = []
         self._fault_plan = None
         self._slow_factor = 1.0
+        self._fired: set[int] = set()  # one-shot faults already applied (by id)
         # OS page cache (time model only — bytes always come from backing).
         # Shared per node when the caller passes one; a private cache is
         # created when only the profile asks for caching.
@@ -205,27 +218,66 @@ class BlockDevice:
         self._faults.clear()
         self._slow_factor = 1.0
 
-    def _check_faults(self) -> None:
-        """Fail or degrade this operation if a scheduled fault has fired."""
+    def _apply_corruption(self, fault) -> None:
+        """One-shot bit rot: flip every byte of the fault's scope in place.
+
+        The damage happens *below* any checksum framing (it edits the
+        backing directly) and costs no I/O time — the platter lied, the
+        host did nothing.
+        """
+        extent = self.backing.size()
+        start = min(fault.offset or 0, extent)
+        end = extent if fault.length is None else min(start + fault.length, extent)
+        if end <= start:
+            return
+        data = self.backing.read(start, end - start)
+        self.backing.write(start, bytes(b ^ 0xFF for b in data))
+        self.stats.corrupted_bytes += end - start
+
+    def _check_faults(self, writing: bool = False):
+        """Fail or degrade this operation if a scheduled fault has fired.
+
+        Returns the triggering ``crash`` fault when this is a write that
+        must be torn short (the caller persists a prefix, then the device
+        hard-fails); returns ``None`` otherwise.
+        """
         if self.failed:
             raise DeviceFailedError(f"device {self.name!r} has failed")
         if not self._faults or (self._fault_plan is not None and not self._fault_plan.armed):
             self.ops += 1
-            return
+            return None
         now = self.clock.now
         for fault in self._faults:
-            if fault.triggered(now, self.ops):
-                if fault.kind == "fail":
-                    self.failed = True
-                    self.stats.failures += 1
-                    raise DeviceFailedError(
-                        f"device {self.name!r} failed "
-                        f"(injected fault at t={now:.6f}s after {self.ops} ops)"
-                    )
-                if self._slow_factor < fault.slow_factor:
-                    self._slow_factor = fault.slow_factor
-                    self.stats.failures += 1
+            if id(fault) in self._fired or not fault.triggered(now, self.ops):
+                continue
+            if fault.kind == "fail":
+                self._fired.add(id(fault))
+                self.failed = True
+                self.stats.failures += 1
+                raise DeviceFailedError(
+                    f"device {self.name!r} failed "
+                    f"(injected fault at t={now:.6f}s after {self.ops} ops)"
+                )
+            if fault.kind == "corrupt":
+                self._fired.add(id(fault))
+                self.stats.failures += 1
+                self._apply_corruption(fault)
+            elif fault.kind == "crash":
+                self._fired.add(id(fault))
+                self.stats.failures += 1
+                self.failed = True  # sticky until revive()
+                if writing:
+                    self.ops += 1
+                    return fault  # caller tears the in-flight write
+                raise DeviceFailedError(
+                    f"device {self.name!r} crashed "
+                    f"(injected fault at t={now:.6f}s after {self.ops} ops)"
+                )
+            elif self._slow_factor < fault.slow_factor:
+                self._slow_factor = fault.slow_factor
+                self.stats.failures += 1
         self.ops += 1
+        return None
 
     def _os_cache_read(self, offset: int, nbytes: int) -> None:
         """Charge a read through the OS page cache: cached pages pay a
@@ -326,11 +378,43 @@ class BlockDevice:
     def write(self, offset: int, data: bytes) -> None:
         if offset < 0:
             raise ValueError("negative offset in BlockDevice.write")
-        self._check_faults()
+        crash = self._check_faults(writing=True)
+        if crash is not None:
+            # Torn write: the platter keeps a prefix of the payload, then
+            # the device is gone (power loss mid-transfer).
+            torn = bytes(data)[: len(data) // 2]
+            if torn:
+                self._charge(offset, len(torn), write=True)
+                self.stats.writes += 1
+                self.stats.bytes_written += len(torn)
+                self.backing.write(offset, torn)
+            self.stats.torn_writes += 1
+            raise DeviceFailedError(
+                f"device {self.name!r} crashed mid-write: "
+                f"{len(torn)}/{len(data)} bytes persisted at offset {offset}"
+            )
         self._charge(offset, len(data), write=True)
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
         self.backing.write(offset, bytes(data))
+
+    def truncate(self, nbytes: int) -> None:
+        """Discard stored bytes past ``nbytes`` (a metadata op: no time
+        charged, like TRIM).  Used by crash recovery to drop torn tails."""
+        if nbytes < 0:
+            raise ValueError("negative size in BlockDevice.truncate")
+        self.backing.truncate(nbytes)
+        self._head = -1
+
+    def revive(self) -> None:
+        """Model a post-crash restart: the device serves I/O again.
+
+        The stored bytes — including any torn tail a ``crash`` fault left
+        behind — are untouched; recovery (superblock replay, scrub) is the
+        *caller's* job.  Faults that already fired stay consumed, pending
+        ones remain scheduled.
+        """
+        self.failed = False
 
     def size(self) -> int:
         return self.backing.size()

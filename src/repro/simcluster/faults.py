@@ -24,9 +24,10 @@ from typing import Iterable, Iterator
 
 from ..util.errors import ConfigError
 
-__all__ = ["DiskFault", "FaultPlan"]
+__all__ = ["DiskFault", "FaultPlan", "FAULT_KINDS"]
 
-_KINDS = ("fail", "slow")
+FAULT_KINDS = ("fail", "slow", "corrupt", "crash")
+_KINDS = FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,15 @@ class DiskFault:
         ``None`` targets every device of the node.
     kind:
         ``"fail"`` — the device hard-fails and stays failed; ``"slow"`` —
-        every later operation costs ``slow_factor`` times as much.
+        every later operation costs ``slow_factor`` times as much;
+        ``"corrupt"`` — a one-shot bit-rot event: stored bytes in the
+        ``offset``/``length`` scope are flipped in place and the device
+        keeps serving (checksummed reads detect the damage, unchecksummed
+        reads return it as good data — the silent-corruption threat);
+        ``"crash"`` — a power-loss/torn-write event: the first write after
+        the trigger persists only a prefix of its payload, then the device
+        hard-fails like ``"fail"`` (``BlockDevice.revive`` models the
+        post-crash restart with the torn bytes still on the platter).
     at_time:
         Trigger once the node's virtual clock reaches this many seconds
         (relative to the current run — clocks reset per run).
@@ -51,6 +60,11 @@ class DiskFault:
         (reads + writes, counted over the device's whole lifetime).
     slow_factor:
         Latency multiplier for ``kind="slow"``.
+    offset / length:
+        For ``kind="corrupt"``: byte range of the device to damage
+        (``offset=None`` starts at 0, ``length=None`` runs to the end of
+        the stored extent).  Offsets are *physical* device offsets — below
+        any checksum framing.
     """
 
     node: int
@@ -59,6 +73,8 @@ class DiskFault:
     at_time: float | None = None
     after_ops: int | None = None
     slow_factor: float = 50.0
+    offset: int | None = None
+    length: int | None = None
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -71,6 +87,12 @@ class DiskFault:
             raise ConfigError(f"negative fault operation count {self.after_ops}")
         if self.kind == "slow" and self.slow_factor < 1.0:
             raise ConfigError("slow_factor below 1.0 would speed the disk up")
+        if (self.offset is not None or self.length is not None) and self.kind != "corrupt":
+            raise ConfigError("offset/length scope only applies to kind='corrupt'")
+        if self.offset is not None and self.offset < 0:
+            raise ConfigError(f"negative corruption offset {self.offset}")
+        if self.length is not None and self.length <= 0:
+            raise ConfigError(f"corruption length must be positive, got {self.length}")
 
     def matches(self, node_index: int, device_name: str) -> bool:
         if node_index != self.node:
@@ -107,6 +129,26 @@ class FaultPlan:
 
     def for_device(self, node_index: int, device_name: str) -> list[DiskFault]:
         return [f for f in self.faults if f.matches(node_index, device_name)]
+
+    def validate(self, nranks: int) -> None:
+        """Check every fault against a cluster of ``nranks`` nodes.
+
+        Called at install time (``SimCluster.install_fault_plan`` /
+        ``MSSG.set_fault_plan``): a fault naming a node outside the cluster
+        — or carrying an unknown kind, possible when the plan was built
+        from untyped config data — would otherwise just never fire, which
+        reads exactly like the system surviving it.
+        """
+        for fault in self.faults:
+            if fault.kind not in _KINDS:
+                raise ConfigError(
+                    f"fault kind must be one of {_KINDS}, got {fault.kind!r} in {fault}"
+                )
+            if not 0 <= fault.node < nranks:
+                raise ConfigError(
+                    f"fault targets node {fault.node} but the cluster has "
+                    f"ranks 0..{nranks - 1}: {fault}"
+                )
 
     def arm(self) -> None:
         self.armed = True

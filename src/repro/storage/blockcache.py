@@ -115,6 +115,14 @@ class LRUBlockCache:
         self._writer(key, data)
         self.stats.writebacks += 1
 
+    def dirty_items(self) -> list[tuple[Hashable, bytes]]:
+        """Snapshot of every dirty block (in LRU order), without writing.
+
+        Used by the journaled (crash-consistent) grDB flush, which must
+        know the publish set before any in-place write happens.
+        """
+        return [(k, self._blocks[k]) for k in self._blocks if k in self._dirty]
+
     def flush(self) -> None:
         """Write back every dirty block (in LRU order) and mark all clean."""
         for key in [k for k in self._blocks if k in self._dirty]:

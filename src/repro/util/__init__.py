@@ -4,6 +4,7 @@ from .bitset import Bitset
 from .errors import (
     CommError,
     ConfigError,
+    CorruptBlockError,
     DeadlockError,
     DeviceFailedError,
     GraphStorageException,
@@ -22,6 +23,7 @@ __all__ = [
     "Bitset",
     "CommError",
     "ConfigError",
+    "CorruptBlockError",
     "DeadlockError",
     "DeviceFailedError",
     "GraphStorageException",

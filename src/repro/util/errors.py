@@ -50,6 +50,31 @@ class DeviceFailedError(ReproError):
     """
 
 
+class CorruptBlockError(DeviceFailedError):
+    """A read returned provably bad data: an on-disk frame failed its CRC.
+
+    Subclasses :class:`DeviceFailedError` so every fault-tolerant call site
+    (BFS failover, ingestion writers, rebalance) already treats it like a
+    dead-chain-member hop and reroutes to a surviving replica.  Unlike its
+    parent the device *keeps serving I/O* — only the named frame is bad —
+    so callers that care (read-repair, the scrub service) can distinguish
+    via ``isinstance`` and rewrite the frame from a clean copy instead of
+    declaring the whole device dead.
+
+    Attributes ``device`` (name), ``offset`` and ``length`` locate the bad
+    frame on the *physical* (checksummed) layout.
+    """
+
+    def __init__(self, device: str, offset: int, length: int, detail: str = ""):
+        self.device = device
+        self.offset = int(offset)
+        self.length = int(length)
+        msg = f"corrupt frame on device {device!r} at offset {offset} (+{length} bytes)"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
 class DeadlockError(SimulationError):
     """Every rank is blocked and no message can unblock any of them."""
 
