@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-ingest-faults test-direction test-integrity lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults test-ingest-faults test-direction test-integrity test-concurrent check-cache-factory lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,17 @@ test-direction:  # direction-optimizing BFS suite, warnings promoted to errors
 test-integrity:  # checksums / corruption / read-repair / crash-recovery suite
 	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_integrity.py
 
+test-concurrent: check-cache-factory  # multi-query scheduler suite, warnings promoted to errors
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_scheduler_concurrent.py
+
+check-cache-factory:  # block caches must come from make_block_cache, never direct construction
+	@offenders=$$(grep -rln 'LRUBlockCache(' src/repro --include='*.py' \
+		| grep -v 'storage/blockcache.py' || true); \
+	if [ -n "$$offenders" ]; then \
+		echo "direct LRUBlockCache construction (use make_block_cache):"; \
+		echo "$$offenders"; exit 1; \
+	fi
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -38,7 +49,7 @@ bench-quick:  # smaller workloads for a fast shape check
 bench-smoke:  # the batched-I/O + direction ablations, CI-sized (ratio bands need full scale)
 	REPRO_BENCH_SCALE=0.4 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_ablation_batchio.py benchmarks/bench_ablation_direction.py \
-		benchmarks/bench_ingest_failover.py \
+		benchmarks/bench_ingest_failover.py benchmarks/bench_concurrent_queries.py \
 		--benchmark-only
 
 lint:  # requires ruff (pip install ruff)

@@ -23,7 +23,16 @@ harness).
 """
 
 from .framework import MSSG, MSSGConfig, RebalanceReport, ScrubReport
+from .services import DrainReport, QueryReport
 
 __version__ = "1.0.0"
 
-__all__ = ["MSSG", "MSSGConfig", "RebalanceReport", "ScrubReport", "__version__"]
+__all__ = [
+    "MSSG",
+    "MSSGConfig",
+    "DrainReport",
+    "QueryReport",
+    "RebalanceReport",
+    "ScrubReport",
+    "__version__",
+]

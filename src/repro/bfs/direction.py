@@ -108,18 +108,27 @@ class DirectionController:
         #: Directions chosen so far, one per level (telemetry).
         self.history: list[str] = []
 
-    def decide(self, level: int) -> str:
-        """Direction for BFS level ``level`` (1-based)."""
+    def peek(self, level: int) -> str:
+        """Direction :meth:`decide` *would* pick for ``level`` — no state change.
+
+        The concurrent-query multiplexer calls this between levels to
+        predict which in-flight queries are about to run a bottom-up scan
+        (so it can arm a shared sweep); the prediction is exact because
+        ``decide`` commits the same computation.
+        """
         s = self.cfg.schedule
         if s is not None:
-            mode = s[min(level - 1, len(s) - 1)]
-        elif self._m_u is None:
+            return s[min(level - 1, len(s) - 1)]
+        if self._m_u is None:
             # Bootstrap: the {s} fringe has been allreduced by no one yet.
-            mode = TOP_DOWN
-        elif self.mode == TOP_DOWN:
-            mode = BOTTOM_UP if self._m_f > self.cfg.alpha * self._m_u else TOP_DOWN
-        else:
-            mode = TOP_DOWN if self._n_f * self.cfg.beta < self.cfg.num_vertices else BOTTOM_UP
+            return TOP_DOWN
+        if self.mode == TOP_DOWN:
+            return BOTTOM_UP if self._m_f > self.cfg.alpha * self._m_u else TOP_DOWN
+        return TOP_DOWN if self._n_f * self.cfg.beta < self.cfg.num_vertices else BOTTOM_UP
+
+    def decide(self, level: int) -> str:
+        """Direction for BFS level ``level`` (1-based)."""
+        mode = self.peek(level)
         self.mode = mode
         self.history.append(mode)
         return mode
@@ -149,6 +158,32 @@ def merge_level_stats(a, b):
     return (a[0] or b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3])
 
 
+def _adjacency_source(db, candidates):
+    """Iterator of ``(vertex, neighbors)`` for the bottom-up claim scan.
+
+    The historical plan is ``db.scan_adjacency(candidates)``.  When the
+    concurrent multiplexer armed a shared bottom-up sweep on this rank's
+    :class:`~repro.services.sharedscan.ScanBoard`, the first consumer
+    materializes ONE whole-store storage-order pass into a ``{v:
+    neighbors}`` map and publishes it (keyed by the stored-edge count);
+    later consumers serve their candidate sets from the map with zero
+    device work.  Per-vertex neighbor arrays are identical either way
+    (``scan_adjacency`` yields a vertex's full list exactly once), and the
+    claim loop's examined/skipped accounting is per-vertex, so answers are
+    bit-identical to the unshared plan.
+    """
+    board = getattr(db, "scan_board", None)
+    if board is None or not board.armed("bottom-up"):
+        return db.scan_adjacency(candidates, order="storage")
+    token = db.stats.edges_stored
+    adj = board.lookup("bottom-up", token)
+    if adj is None:
+        adj = {v: neighbors for v, neighbors in db.scan_adjacency(None, order="storage")}
+        board.publish("bottom-up", token, adj)
+    wanted = np.unique(np.asarray(candidates, dtype=np.int64))
+    return ((int(v), adj[int(v)]) for v in wanted if int(v) in adj)
+
+
 def _scan_claims(ctx, db, bm: Bitset, candidates, dest: int, ft: FTState | None):
     """Sequentially scan ``candidates``, claiming each at its first hit.
 
@@ -164,7 +199,7 @@ def _scan_claims(ctx, db, bm: Bitset, candidates, dest: int, ft: FTState | None)
     start = ctx.clock.now
     ok = True
     try:
-        for v, neighbors in db.scan_adjacency(candidates, order="storage"):
+        for v, neighbors in _adjacency_source(db, candidates):
             hits = np.flatnonzero(bm.get_many(neighbors))
             if len(hits):
                 first = int(hits[0])

@@ -72,6 +72,14 @@ class BFSConfig:
     #: keeps the original pure top-down search, byte-identical to the
     #: paper mode (the level-end allreduce stays the two-element tuple).
     direction: DirectionConfig | None = None
+    #: Emit a ``("level-mark", level, done, next_direction)`` yield after
+    #: every level-end allreduce (and one before level 1).  These sentinels
+    #: are NOT comm requests — the concurrent-query multiplexer intercepts
+    #: them to interleave queries level-by-level and to deliver deadline
+    #: aborts; running a marked program directly on a Scheduler would raise.
+    #: ``False`` (the default, and the only value paper mode uses) keeps
+    #: the yield sequence byte-identical to the original algorithm.
+    level_marks: bool = False
 
 
 @dataclass
@@ -94,6 +102,9 @@ class BFSRankResult:
     corrupt: bool = False
     #: Some adjacency was never expanded — treat the result as a lower bound.
     partial: bool = False
+    #: The query was aborted at a level mark because its deadline expired;
+    #: implies ``partial`` unless the search had already terminated.
+    deadline_exceeded: bool = False
     #: Direction chosen per level when the hybrid is on (rank-uniform, so
     #: identical on every rank); empty for pure top-down runs.
     directions: list = field(default_factory=list)
@@ -152,7 +163,18 @@ def oocbfs_program(
         else None
     )
 
-    while True:
+    aborted = False
+    if cfg.level_marks:
+        # Pre-admission mark: lets the multiplexer place this query in its
+        # round-robin order (and predict a level-1 bottom-up scan) before
+        # any I/O or comm happens on its behalf.
+        cmd = yield ("level-mark", 0, False, dctl.peek(1) if dctl is not None else None)
+        if cmd == "abort":
+            aborted = True
+            result.partial = True
+            result.deadline_exceeded = True
+
+    while not aborted:
         levcnt += 1
         if dctl is not None and dctl.decide(levcnt) == BOTTOM_UP:
             result.directions.append(BOTTOM_UP)
@@ -251,8 +273,23 @@ def oocbfs_program(
         result.levels_expanded = levcnt
         if found_any:
             result.found_level = levcnt
-            break
-        if total_new == 0 or levcnt >= cfg.max_levels:
+        done = found_any or total_new == 0 or levcnt >= cfg.max_levels
+        if cfg.level_marks:
+            # Suspended here, no collective is in flight on any rank: the
+            # multiplexer may switch to another query, or deliver "abort"
+            # (a rank-uniform decision) to cut this one off mid-search.
+            cmd = yield (
+                "level-mark",
+                levcnt,
+                done,
+                dctl.peek(levcnt + 1) if dctl is not None else None,
+            )
+            if cmd == "abort":
+                if not done:
+                    result.partial = True
+                    result.deadline_exceeded = True
+                break
+        if done:
             break
 
     result.edges_scanned = db.stats.edges_scanned - edges_before

@@ -88,6 +88,40 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _search_concurrent(mssg, args) -> None:
+    """Run all --query pairs through the concurrent scheduler in one drain."""
+    pairs = [tuple(int(x) for x in pair.split(":")) for pair in args.query]
+    report = mssg.query_many(
+        pairs, deadline=args.deadline, max_inflight=args.inflight
+    )
+    for (s, d), answer in zip(pairs, report.queries):
+        hops = answer.result if answer.result is not None else "unreachable"
+        notes = ""
+        if answer.deadline_exceeded:
+            notes += "   ! DEADLINE exceeded (partial lower bound)"
+        elif answer.partial:
+            notes += "   ! PARTIAL (lower bound)"
+        if answer.corrupt_backends:
+            notes += (
+                f"   ! corruption detected on back-end(s) "
+                f"{list(answer.corrupt_backends)}"
+            )
+        print(
+            f"distance({s} -> {d}) = {hops}   "
+            f"[{answer.seconds:.4f} s latency, "
+            f"{answer.queue_seconds:.4f} s queued, "
+            f"{answer.edges_scanned:,} edges]{notes}"
+        )
+    print(
+        f"drained {len(report.queries)} queries in {report.seconds:.4f} virtual s "
+        f"({report.edges_per_second:,.0f} edges/s aggregate): "
+        f"{report.rounds} rounds, "
+        f"{report.shared_passes} shared scan passes served "
+        f"{report.shared_served} subscribers"
+        + (f", {report.repairs} frames read-repaired" if report.repairs else "")
+    )
+
+
 def _cmd_search(args) -> int:
     edges = _read_edges(args.edges)
     kill = args.kill_backend
@@ -163,36 +197,39 @@ def _cmd_search(args) -> int:
                 f"({rb.entries_copied:,} entries) re-replicated in "
                 f"{rb.seconds:.4f} s; effective replication {rb.replication}{notes}"
             )
-        for pair in args.query:
-            s, d = (int(x) for x in pair.split(":"))
-            answer = mssg.query_bfs(s, d, pipelined=args.pipelined)
-            hops = answer.result if answer.result is not None else "unreachable"
-            notes = ""
-            if answer.failovers or answer.device_failures or answer.partial:
-                degraded = " PARTIAL (lower bound)" if answer.partial else ""
-                notes = (
-                    f"   !{degraded} device failures: {answer.device_failures}, "
-                    f"failovers: {answer.failovers}, "
-                    f"dropped vertices: {answer.dropped_vertices}"
-                )
-            if answer.corrupt_backends:
-                notes += (
-                    f"   ! corruption detected on back-end(s) "
-                    f"{list(answer.corrupt_backends)}; "
-                    f"{answer.repairs} frames read-repaired"
-                )
-            print(
-                f"distance({s} -> {d}) = {hops}   "
-                f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]{notes}"
-            )
-            bottom_up = sum(d == "bottom-up" for d in answer.directions)
-            if bottom_up:
+        if args.inflight is not None or args.deadline is not None:
+            _search_concurrent(mssg, args)
+        else:
+            for pair in args.query:
+                s, d = (int(x) for x in pair.split(":"))
+                answer = mssg.query_bfs(s, d, pipelined=args.pipelined)
+                hops = answer.result if answer.result is not None else "unreachable"
+                notes = ""
+                if answer.failovers or answer.device_failures or answer.partial:
+                    degraded = " PARTIAL (lower bound)" if answer.partial else ""
+                    notes = (
+                        f"   !{degraded} device failures: {answer.device_failures}, "
+                        f"failovers: {answer.failovers}, "
+                        f"dropped vertices: {answer.dropped_vertices}"
+                    )
+                if answer.corrupt_backends:
+                    notes += (
+                        f"   ! corruption detected on back-end(s) "
+                        f"{list(answer.corrupt_backends)}; "
+                        f"{answer.repairs} frames read-repaired"
+                    )
                 print(
-                    f"   hybrid: {bottom_up}/{len(answer.directions)} levels "
-                    f"bottom-up ({'-'.join('bu' if d == 'bottom-up' else 'td' for d in answer.directions)}), "
-                    f"{answer.edges_examined:,} edges examined, "
-                    f"{answer.edges_skipped:,} skipped by early exit"
+                    f"distance({s} -> {d}) = {hops}   "
+                    f"[{answer.seconds:.4f} s, {answer.edges_scanned:,} edges]{notes}"
                 )
+                bottom_up = sum(d == "bottom-up" for d in answer.directions)
+                if bottom_up:
+                    print(
+                        f"   hybrid: {bottom_up}/{len(answer.directions)} levels "
+                        f"bottom-up ({'-'.join('bu' if d == 'bottom-up' else 'td' for d in answer.directions)}), "
+                        f"{answer.edges_examined:,} edges examined, "
+                        f"{answer.edges_skipped:,} skipped by early exit"
+                    )
         if args.scrub:
             sr = mssg.scrub()
             print(
@@ -253,6 +290,22 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--frontends", type=int, default=1)
     q.add_argument("--declustering", default="vertex-rr")
     q.add_argument("--pipelined", action="store_true")
+    q.add_argument(
+        "--inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve all --query pairs concurrently through the multi-query "
+        "scheduler, admitting at most N at a time (shared scans on)",
+    )
+    q.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="with --inflight: per-query deadline in virtual seconds; "
+        "expired queries return partial lower bounds instead of stalling "
+        "the batch (implies concurrent serving)",
+    )
     q.add_argument(
         "--replication",
         type=int,

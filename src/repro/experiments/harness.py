@@ -106,6 +106,13 @@ class Deployment:
     #: offsets/time, so the chapter-5 figures stay bit-identical; the
     #: integrity ablation (``bench_ablation_checksums``) flips this on.
     checksums: bool = False
+    #: Block-cache organization.  Pinned to the historical private
+    #: per-store LRUs here — the paper's prototype had no process-wide
+    #: pool, and the 2q promotion/eviction order shifts cache hits and
+    #: therefore every device's timeline.  The concurrent-serving
+    #: benchmark (``bench_concurrent_queries``) opts into ``"2q"``
+    #: explicitly.
+    cache_policy: str = "lru"
 
 
 @dataclass
@@ -167,6 +174,7 @@ def build_and_ingest(
             batch_io=deployment.batch_io,
             direction_opt=deployment.direction_opt,
             checksums=deployment.checksums,
+            cache_policy=deployment.cache_policy,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )

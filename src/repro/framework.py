@@ -23,6 +23,7 @@ from .graphdb import GraphDB, GrDBFormat, ModuloMap, make_graphdb
 from .graphdb.registry import BACKENDS
 from .services import (
     Declusterer,
+    DrainReport,
     EdgeRoundRobin,
     IngestionService,
     IngestReport,
@@ -33,6 +34,7 @@ from .services import (
     VertexRoundRobin,
     WindowGreedy,
 )
+from .storage.blockcache import CACHE_POLICIES
 from .simcluster import FaultPlan, NodeSpec, SimCluster
 from .util.errors import ConfigError, DeviceFailedError
 
@@ -134,6 +136,24 @@ class MSSGConfig:
     #: ~0.1% capacity and the WAL write amplification; the experiment
     #: harness turns it off to keep paper figures bit-identical.
     checksums: bool = True
+    #: Block-cache organization of the out-of-core back-ends.  ``"lru"`` —
+    #: the historical layout: every store owns a private LRU of
+    #: ``cache_blocks`` entries.  ``"2q"`` — all stores on a back-end node
+    #: share ONE process-wide pool of ``cache_blocks`` entries, partitioned
+    #: by owner and run with scan-resistant two-segment eviction (a
+    #: sequential sweep can only churn the probation segment; blocks
+    #: re-referenced across queries are promoted and survive).  The
+    #: experiment harness pins ``"lru"`` to keep paper figures
+    #: bit-identical.
+    cache_policy: str = "2q"
+    #: Admission cap for :meth:`MSSG.query_many`: queries beyond this many
+    #: in flight wait in the FIFO queue.
+    max_inflight: int = 64
+    #: Share backend sweeps (StreamDB log replays, bottom-up storage
+    #: scans) between concurrent queries of one scheduling round: one
+    #: device pass, decoded adjacency fanned to every subscriber.  Answers
+    #: are unaffected; only device time is.  Off in the experiment harness.
+    shared_scans: bool = True
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -150,6 +170,13 @@ class MSSGConfig:
                 f"replication must be in [1, num_backends={self.num_backends}], "
                 f"got {self.replication}"
             )
+        if self.cache_policy not in CACHE_POLICIES:
+            raise ConfigError(
+                f"unknown cache_policy {self.cache_policy!r}; "
+                f"choose from {CACHE_POLICIES}"
+            )
+        if self.max_inflight < 1:
+            raise ConfigError(f"max_inflight must be >= 1, got {self.max_inflight}")
 
 
 class MSSG:
@@ -189,6 +216,8 @@ class MSSG:
             attempt_timeout=cfg.attempt_timeout,
             direction_opt=cfg.direction_opt,
             checksums=cfg.checksums,
+            max_inflight=cfg.max_inflight,
+            shared_scans=cfg.shared_scans,
         )
         self.last_ingest: IngestReport | None = None
 
@@ -221,6 +250,7 @@ class MSSG:
             growth_policy=cfg.growth_policy,
             batch_io=cfg.batch_io,
             checksums=cfg.checksums,
+            cache_policy=cfg.cache_policy,
         )
 
     # -- public operations ---------------------------------------------------
@@ -241,6 +271,16 @@ class MSSG:
     def ingest(self, edges: np.ndarray) -> IngestReport:
         """Stream an undirected edge list into the back-end GraphDBs."""
         self.last_ingest = self.ingestion.ingest(edges)
+        # Back-ends that died during ingestion are known dead *now*; record
+        # them (as a rebalance pass would) so queries route their shards to
+        # replicas outright.  Leaving rediscovery to the query is unsound:
+        # a dead back-end whose few blocks are still cache-resident answers
+        # from RAM, never touches its failed device, and silently returns
+        # an incomplete non-partial result.
+        failed = getattr(self.last_ingest, "failed_backends", ())
+        if failed:
+            self.queries.known_dead |= set(failed)
+            self.queries.fault_tolerant = True
         # The direction-optimizing hybrid sizes its fringe bitmap from the
         # vertex-id space; record it here so queries know it without a
         # cluster round (grows monotonically across multiple ingests).
@@ -629,6 +669,53 @@ class MSSG:
         )
         if report.corrupt_backends and self.config.checksums:
             report.repairs = self.repair_backends(report.corrupt_backends)
+        return report
+
+    def query_many(
+        self,
+        pairs,
+        tenants=None,
+        deadline: float | None = None,
+        max_inflight: int | None = None,
+        shared_scans: bool | None = None,
+        visited: str = "memory",
+        max_levels: int = 64,
+        **kw,
+    ) -> DrainReport:
+        """Serve many relationship queries concurrently in one cluster run.
+
+        ``pairs`` is a sequence of ``(source, dest)``; ``tenants`` (optional,
+        same length) tags each query for round-robin fairness; ``deadline``
+        is a per-query virtual-seconds budget from admission.  Queries are
+        interleaved level-by-level under the admission cap, with backend
+        sweeps shared between a round's subscribers (see
+        :class:`MSSGConfig.max_inflight` / ``shared_scans``).  Answers are
+        bit-identical to running each pair through :meth:`query_bfs`
+        sequentially.  When the checksum layer flagged corrupt frames on
+        any back-end during the drain, the damaged back-ends are read-
+        repaired once afterwards (``report.repairs``).
+        """
+        pairs = list(pairs)
+        if tenants is not None and len(tenants) != len(pairs):
+            raise ConfigError(
+                f"tenants has {len(tenants)} entries for {len(pairs)} queries"
+            )
+        for i, (source, dest) in enumerate(pairs):
+            self.queries.submit(
+                source,
+                dest,
+                tenant="default" if tenants is None else tenants[i],
+                deadline=deadline,
+                visited=visited,
+                max_levels=max_levels,
+                **kw,
+            )
+        report = self.queries.drain(
+            max_inflight=max_inflight, shared_scans=shared_scans
+        )
+        corrupt = sorted({q for rep in report.queries for q in rep.corrupt_backends})
+        if corrupt and self.config.checksums:
+            report.repairs = self.repair_backends(corrupt)
         return report
 
     def query(self, analysis: str, **params) -> QueryReport:

@@ -33,6 +33,7 @@ class BerkeleyGraphDB(GraphDB):
         device: BlockDevice,
         cache_pages: int = 512,
         page_size: int = 4096,
+        shared_cache=None,
         **kwargs,
     ):
         super().__init__(**kwargs)
@@ -41,6 +42,8 @@ class BerkeleyGraphDB(GraphDB):
             page_size=page_size,
             cache_pages=cache_pages,
             page_cpu_seconds=self.cpu.btree_page_seconds,
+            shared_cache=shared_cache,
+            cache_owner="bdb",
         )
         # Lazily discovered tail position per vertex: (chunk_no, entries_used).
         self._tails: dict[int, tuple[int, int]] = {}

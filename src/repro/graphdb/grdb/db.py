@@ -61,6 +61,7 @@ class GrDB(GraphDB):
         id_map: IdMap | None = None,
         growth_policy: str = "link",
         integrity: bool = False,
+        shared_cache=None,
         **kwargs,
     ):
         super().__init__(**kwargs)
@@ -68,7 +69,11 @@ class GrDB(GraphDB):
             raise ConfigError(f"growth_policy must be one of {_POLICIES}, got {growth_policy!r}")
         self.fmt = fmt if fmt is not None else GrDBFormat()
         self.storage = GrDBStorage(
-            self.fmt, device_provider, cache_blocks=cache_blocks, integrity=integrity
+            self.fmt,
+            device_provider,
+            cache_blocks=cache_blocks,
+            integrity=integrity,
+            shared_cache=shared_cache,
         )
         self.id_map = id_map if id_map is not None else IdentityMap()
         self.growth_policy = growth_policy

@@ -25,7 +25,7 @@ import struct
 from typing import Callable
 
 from ...simcluster.disk import BlockDevice, MemoryBacking
-from ...storage.blockcache import LRUBlockCache
+from ...storage.blockcache import SharedBlockCache, make_block_cache
 from ...util.errors import ConfigError, CorruptBlockError, GraphStorageException
 from .format import GrDBFormat
 
@@ -51,6 +51,7 @@ class GrDBStorage:
         cache_blocks: int = 256,
         name: str = "grdb",
         integrity: bool = False,
+        shared_cache: SharedBlockCache | None = None,
     ):
         self.fmt = fmt
         self._provider = device_provider
@@ -63,7 +64,11 @@ class GrDBStorage:
         # and has no allocator).
         self._next_subblock = [0] * fmt.num_levels
         self._free: list[list[int]] = [[] for _ in range(fmt.num_levels)]
-        self.cache = LRUBlockCache(cache_blocks, writer=self._write_block_through)
+        # Private LRU (shared_cache=None, bit-identical to the historical
+        # behavior) or an owner partition of the rank's shared pool.
+        self.cache = make_block_cache(
+            cache_blocks, writer=self._write_block_through, shared=shared_cache, owner=name
+        )
 
     # -- file / block plumbing ---------------------------------------------
 
@@ -121,10 +126,12 @@ class GrDBStorage:
         """
         out: dict[int, bytes] = {}
         missing: list[int] = []
-        # Cap cache insertions at capacity: a batch larger than the cache
+        # Cap cache insertions at the scan budget: a batch larger than that
         # would otherwise evict earlier blocks of this very batch (forcing
-        # dirty write-backs mid-read) with none of them surviving anyway.
-        budget = self.cache.capacity
+        # dirty write-backs mid-read) with none of them surviving anyway —
+        # and, on a shared pool, would bulldoze other owners' and queries'
+        # hot blocks (the budget is the probation segment there).
+        budget = self.cache.scan_budget()
         for block in sorted(set(int(b) for b in blocks)):
             key = (level, block)
             data = self.cache.get(key)
@@ -176,7 +183,12 @@ class GrDBStorage:
         """
         wanted = sorted(set(int(b) for b in blocks))
         todo = [b for b in wanted if (level, b) not in self.cache]
-        todo = todo[: self.cache.capacity]
+        # Plan at most one scan budget's worth: on a shared pool, several
+        # queries prefetching concurrently must not evict each other's (or
+        # their own) freshly warmed blocks, so the cap is per-pass, not
+        # per-capacity.  ``prefetched`` still counts resident-only — blocks
+        # the pass inserted but lost again before this check are excluded.
+        todo = todo[: self.cache.scan_budget()]
         if todo:
             self.read_block_batch(level, todo)
             self.cache.stats.prefetched += sum(

@@ -13,7 +13,7 @@ import struct
 import numpy as np
 
 from ..simcluster.disk import BlockDevice
-from ..storage.blockcache import LRUBlockCache
+from ..storage.blockcache import make_block_cache
 from ..storage.pagedfile import PagedFile
 
 __all__ = ["MetadataStore", "InMemoryMetadata", "ExternalMetadata", "UNSET"]
@@ -88,10 +88,12 @@ class ExternalMetadata(MetadataStore):
 
     VALUES_PER_PAGE = 1024
 
-    def __init__(self, device: BlockDevice, cache_pages: int = 64):
+    def __init__(self, device: BlockDevice, cache_pages: int = 64, shared_cache=None):
         self.page_bytes = self.VALUES_PER_PAGE * 4
         self.pages = PagedFile(device, self.page_bytes)
-        self.cache = LRUBlockCache(cache_pages, writer=self._write_page)
+        self.cache = make_block_cache(
+            cache_pages, writer=self._write_page, shared=shared_cache, owner="ext-metadata"
+        )
         self._unset_page = struct.pack(">i", UNSET) * self.VALUES_PER_PAGE
 
     def _write_page(self, page_no: int, data: bytes) -> None:

@@ -28,10 +28,12 @@ class MySQLGraphDB(GraphDB):
 
     name = "MySQL"
 
-    def __init__(self, device_provider, **kwargs):
+    def __init__(self, device_provider, shared_cache=None, **kwargs):
         """``device_provider(name) -> BlockDevice`` supplies the engine's files."""
         super().__init__(**kwargs)
-        self.db = MiniSQL(device_provider, clock=self.clock, cpu=self.cpu)
+        self.db = MiniSQL(
+            device_provider, clock=self.clock, cpu=self.cpu, shared_cache=shared_cache
+        )
         self.db.execute("CREATE TABLE edges (src BIGINT, chunk INT, adj BLOB)")
         self.db.execute("CREATE INDEX ON edges (src, chunk)")
         self._tails: dict[int, tuple[int, int]] = {}

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..simcluster.cluster import SimNode
+from ..storage.blockcache import CACHE_POLICIES, SharedBlockCache
 from ..storage.integrity import wrap_device
 from ..util.errors import ConfigError
 from .array_db import ArrayGraphDB
@@ -22,11 +23,41 @@ from .interface import GraphDB
 from .mysql_db import MySQLGraphDB
 from .stream_db import StreamGraphDB
 
-__all__ = ["BACKENDS", "IN_MEMORY_BACKENDS", "OUT_OF_CORE_BACKENDS", "make_graphdb"]
+__all__ = [
+    "BACKENDS",
+    "IN_MEMORY_BACKENDS",
+    "OUT_OF_CORE_BACKENDS",
+    "make_graphdb",
+    "shared_cache_for",
+]
 
 IN_MEMORY_BACKENDS = ("Array", "HashMap")
 OUT_OF_CORE_BACKENDS = ("MySQL", "BerkeleyDB", "StreamDB", "grDB")
 BACKENDS = IN_MEMORY_BACKENDS + OUT_OF_CORE_BACKENDS
+
+
+def shared_cache_for(
+    node: SimNode, cache_blocks: int, cache_policy: str
+) -> SharedBlockCache | None:
+    """Return the node's process-wide block cache, creating it on first use.
+
+    Policy ``"lru"`` means "keep the historical private per-store caches",
+    so it returns ``None`` and every store builds its own
+    :class:`LRUBlockCache` via the factory.  Any other policy hoists all
+    block caching on the node into one :class:`SharedBlockCache` pool that
+    every out-of-core store partitions by owner name.
+    """
+    if cache_policy == "lru":
+        return None
+    if cache_policy not in CACHE_POLICIES:
+        raise ConfigError(
+            f"cache_policy must be one of {CACHE_POLICIES}, got {cache_policy!r}"
+        )
+    pool = getattr(node, "shared_block_cache", None)
+    if pool is None or pool.policy != cache_policy:
+        pool = SharedBlockCache(cache_blocks, policy=cache_policy)
+        node.shared_block_cache = pool
+    return pool
 
 
 def make_graphdb(
@@ -38,6 +69,7 @@ def make_graphdb(
     growth_policy: str = "link",
     batch_io: bool = True,
     checksums: bool = False,
+    cache_policy: str = "lru",
     **extra: Any,
 ) -> GraphDB:
     """Instantiate ``backend`` on ``node``.
@@ -56,6 +88,7 @@ def make_graphdb(
         provider = lambda name: wrap_device(node.disk(name))  # noqa: E731
     else:
         provider = node.disk
+    shared = shared_cache_for(node, cache_blocks, cache_policy)
     if backend == "Array":
         return ArrayGraphDB(**common)
     if backend == "HashMap":
@@ -64,9 +97,11 @@ def make_graphdb(
         meta = provider("stream_meta") if checksums else None
         return StreamGraphDB(provider("streamdb"), meta_device=meta, **common)
     if backend == "BerkeleyDB":
-        return BerkeleyGraphDB(provider("bdb"), cache_pages=cache_blocks, **common)
+        return BerkeleyGraphDB(
+            provider("bdb"), cache_pages=cache_blocks, shared_cache=shared, **common
+        )
     if backend == "MySQL":
-        return MySQLGraphDB(provider, **common)
+        return MySQLGraphDB(provider, shared_cache=shared, **common)
     if backend == "grDB":
         return GrDB(
             provider,
@@ -75,6 +110,7 @@ def make_graphdb(
             id_map=id_map,
             growth_policy=growth_policy,
             integrity=checksums,
+            shared_cache=shared,
             **common,
         )
     raise ConfigError(f"unknown GraphDB backend {backend!r}; choose from {BACKENDS}")

@@ -9,15 +9,18 @@ from .declustering import (
     WindowGreedy,
 )
 from .ingestion import IngestionService, IngestReport
-from .query import QueryReport, QueryService
+from .query import DrainReport, QueryReport, QueryService
+from .scheduler import QuerySpec
 
 __all__ = [
     "Declusterer",
+    "DrainReport",
     "EdgeRoundRobin",
     "IngestReport",
     "IngestionService",
     "QueryReport",
     "QueryService",
+    "QuerySpec",
     "ReplicatedDeclusterer",
     "VertexHash",
     "VertexRoundRobin",

@@ -34,8 +34,9 @@ from ..simcluster.cluster import SimCluster
 from ..simcluster.comm import SubComm
 from ..util.errors import ConfigError
 from .declustering import Declusterer
+from .scheduler import QuerySpec, multiplex_program
 
-__all__ = ["QueryService", "QueryReport"]
+__all__ = ["QueryService", "QueryReport", "DrainReport"]
 
 
 @dataclass
@@ -70,6 +71,42 @@ class QueryReport:
     edges_examined: int = 0
     #: Adjacency entries skipped by bottom-up early exit (all ranks).
     edges_skipped: int = 0
+    #: The query blew its virtual-seconds deadline and was cut off at a
+    #: level boundary; ``result``/``partial`` describe what it got done.
+    deadline_exceeded: bool = False
+    #: Fairness tag the query was scheduled under (concurrent drains only).
+    tenant: str = "default"
+    #: Virtual seconds spent queued before admission (concurrent drains
+    #: only; 0 when the query ran solo or was admitted immediately).
+    queue_seconds: float = 0.0
+
+    @property
+    def edges_per_second(self) -> float:
+        return self.edges_scanned / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class DrainReport:
+    """Outcome of one concurrent drain: per-query reports plus totals."""
+
+    #: One :class:`QueryReport` per submitted query, in submission order.
+    #: Each report's ``seconds`` is that query's own admission-to-completion
+    #: latency (max over ranks), not the drain makespan.
+    queries: list
+    #: Virtual makespan of the whole drain across back-end ranks.
+    seconds: float = 0.0
+    #: Scheduling rounds the multiplexer ran (max over ranks).
+    rounds: int = 0
+    #: Device passes performed for shared sweeps, summed over ranks.
+    shared_passes: int = 0
+    #: Shared sweeps served from a published pass (device passes avoided).
+    shared_served: int = 0
+    #: Corrupt frames healed by read-repair after the drain.
+    repairs: int = 0
+
+    @property
+    def edges_scanned(self) -> int:
+        return sum(r.edges_scanned for r in self.queries)
 
     @property
     def edges_per_second(self) -> float:
@@ -90,6 +127,8 @@ class QueryService:
         attempt_timeout: float | None = None,
         direction_opt: bool = True,
         checksums: bool = False,
+        max_inflight: int = 64,
+        shared_scans: bool = True,
     ):
         if cluster.nranks < num_frontends + len(dbs):
             raise ConfigError("cluster too small for the requested service layout")
@@ -114,6 +153,16 @@ class QueryService:
         #: Put per-query scratch devices (the external visited structure)
         #: behind the CRC32 frame layer too, matching the back-end stores.
         self.checksums = checksums
+        if max_inflight < 1:
+            raise ConfigError(f"max_inflight must be >= 1, got {max_inflight}")
+        #: Admission cap for concurrent drains: queries past this many
+        #: in flight wait in the FIFO queue (per-query ``queue_seconds``).
+        self.max_inflight = max_inflight
+        #: Arm shared backend sweeps (one device pass fanned to all of a
+        #: round's subscribers) during concurrent drains.
+        self.shared_scans = shared_scans
+        #: Queries accepted by :meth:`submit`, awaiting the next :meth:`drain`.
+        self._submitted: list[QuerySpec] = []
         #: Vertex-id space size, recorded at ingest time; sizes the hybrid's
         #: fringe bitmap.  ``None`` (nothing ingested through the façade)
         #: keeps BFS pure top-down.
@@ -279,6 +328,145 @@ class QueryService:
             directions=tuple(results[0].directions),
             edges_examined=sum(r.edges_examined for r in results),
             edges_skipped=sum(r.edges_skipped for r in results),
+        )
+
+    # -- concurrent multi-query serving ---------------------------------------
+
+    def submit(
+        self,
+        source,
+        dest,
+        tenant: str = "default",
+        deadline: float | None = None,
+        visited: str = "memory",
+        max_levels: int = 64,
+        prefetch: bool = False,
+        direction_opt: bool | None = None,
+        direction_schedule=None,
+    ) -> int:
+        """Queue one relationship query for the next :meth:`drain`.
+
+        Returns the query id — the index of its report in the drain's
+        ``queries`` list.  ``deadline`` is a virtual-seconds budget counted
+        from admission; an expired query is cut off at its next level
+        boundary and reported partial with ``deadline_exceeded=True``.
+        """
+        qid = len(self._submitted)
+        self._submitted.append(
+            QuerySpec(
+                qid=qid,
+                source=int(source),
+                dest=int(dest),
+                tenant=str(tenant),
+                deadline=deadline,
+                visited=visited,
+                max_levels=int(max_levels),
+                prefetch=bool(prefetch),
+                direction_opt=direction_opt,
+                direction_schedule=(
+                    tuple(direction_schedule) if direction_schedule else None
+                ),
+            )
+        )
+        return qid
+
+    def drain(
+        self, max_inflight: int | None = None, shared_scans: bool | None = None
+    ) -> DrainReport:
+        """Run every submitted query to completion, interleaved level-by-level.
+
+        All queries share one cluster run (and one sub-communicator): the
+        multiplexer advances each admitted query one BFS level at a time in
+        a rank-uniform round-robin over tenants, arming shared backend
+        sweeps whenever at least two of a round's queries need the same
+        device pass.  Answers are bit-identical to running the same queries
+        back-to-back with :meth:`query`; only the virtual timeline (and the
+        device work saved by sharing) differs.
+        """
+        specs, self._submitted = self._submitted, []
+        if not specs:
+            return DrainReport(queries=[])
+        inflight = self.max_inflight if max_inflight is None else int(max_inflight)
+        if inflight < 1:
+            raise ConfigError(f"max_inflight must be >= 1, got {inflight}")
+        sharing = self.shared_scans if shared_scans is None else bool(shared_scans)
+        cfgs = []
+        seqs = []
+        for s in specs:
+            cfgs.append(
+                BFSConfig(
+                    source=s.source,
+                    dest=s.dest,
+                    owner_known=self.declusterer.owner_known,
+                    max_levels=s.max_levels,
+                    prefetch=s.prefetch,
+                    ft=self._ft(),
+                    direction=self._direction(s.direction_opt, s.direction_schedule),
+                    level_marks=True,
+                )
+            )
+            self._visited_seq += 1
+            seqs.append(self._visited_seq)
+        owner_of = self.declusterer.owner_of if self.declusterer.owner_known else None
+
+        def make(q):
+            def backend_program(ctx):
+                def make_visited(c, qid):
+                    return self._make_visited(c, specs[qid].visited, seqs[qid])
+
+                out = yield from multiplex_program(
+                    ctx,
+                    self.dbs[q],
+                    specs,
+                    cfgs,
+                    make_visited,
+                    owner_of,
+                    inflight,
+                    sharing,
+                )
+                return out
+
+            return backend_program
+
+        rank_outs = self._run_on_backends(make)
+        reports = []
+        for spec in specs:
+            per_rank = [ro.queries[spec.qid] for ro in rank_outs]
+            results = [o.result for o in per_rank]
+            levels = {r.found_level for r in results}
+            if len(levels) != 1:
+                raise ConfigError(
+                    f"back-ends disagree on BFS outcome for query {spec.qid}: {levels}"
+                )
+            found = results[0].found_level
+            reports.append(
+                QueryReport(
+                    analysis="bfs",
+                    seconds=max(o.latency_seconds for o in per_rank),
+                    result=None if found == NOT_FOUND else found,
+                    edges_scanned=sum(o.edges_scanned for o in per_rank),
+                    levels=max(r.levels_expanded for r in results),
+                    partial=any(r.partial for r in results),
+                    failovers=sum(r.failovers for r in results),
+                    device_failures=sum(r.device_failed for r in results),
+                    corrupt_backends=tuple(
+                        q for q, r in enumerate(results) if getattr(r, "corrupt", False)
+                    ),
+                    dropped_vertices=sum(r.dropped_vertices for r in results),
+                    directions=tuple(results[0].directions),
+                    edges_examined=sum(r.edges_examined for r in results),
+                    edges_skipped=sum(r.edges_skipped for r in results),
+                    deadline_exceeded=any(r.deadline_exceeded for r in results),
+                    tenant=spec.tenant,
+                    queue_seconds=max(o.queue_seconds for o in per_rank),
+                )
+            )
+        return DrainReport(
+            queries=reports,
+            seconds=self.cluster.makespan,
+            rounds=max(ro.rounds for ro in rank_outs),
+            shared_passes=sum(ro.shared_passes for ro in rank_outs),
+            shared_served=sum(ro.shared_served for ro in rank_outs),
         )
 
     def _bfs_analysis(

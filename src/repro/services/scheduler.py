@@ -1,0 +1,236 @@
+"""Concurrent multi-query scheduler: interleave BFS queries level-by-level.
+
+One drain runs N relationship queries through a single back-end program
+per rank.  Each query is the unmodified Algorithm-1 generator compiled
+with ``BFSConfig.level_marks=True``, so it suspends at a *level mark*
+after every level-end allreduce — a point where no collective is in
+flight on any rank.  The multiplexer advances queries mark-to-mark in a
+rank-uniform order, which keeps the interleaved collective sequence (and
+therefore the shared sub-communicator's tag stream) identical on every
+rank: query A's level can overlap query B's in virtual time without any
+message ever matching the wrong collective.
+
+Scheduling policy, all derived from rank-uniform state (the shared spec
+list, the active set, allreduced globals) so every rank takes identical
+decisions with no extra coordination messages:
+
+* **admission** — FIFO by submission order up to ``max_inflight``;
+* **fairness** — each round visits active queries grouped by tenant, with
+  the tenant order rotated one step per round, so a tenant with many
+  queued queries cannot starve a tenant with one;
+* **deadlines** — when any active query carries one, each round ends with
+  an allreduce of per-query elapsed-since-admission (max over ranks); an
+  expired query is handed ``"abort"`` at its next level mark and returns
+  a partial result flagged ``deadline_exceeded`` instead of running on;
+* **shared sweeps** — before running a round the multiplexer arms the
+  rank's :class:`~repro.services.sharedscan.ScanBoard` for any backend
+  sweep at least two of the round's queries will issue (StreamDB log
+  replays; bottom-up storage scans, predicted exactly via
+  ``DirectionController.peek``), so the device pays one pass per round
+  instead of one per query.
+
+Per-query cost attribution: ``db.stats.edges_scanned`` is snapshotted
+around every slice (the generator's own start-to-end delta would absorb
+the other queries' work), and a query's latency is its own admission-to-
+completion span on each rank's clock — which *includes* time the rank
+spent serving other queries' slices, exactly what an end-to-end client
+would observe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..bfs import BFSConfig, BFSRankResult, oocbfs_program
+from ..bfs.direction import BOTTOM_UP
+from .sharedscan import BOTTOM_UP_SCAN, LOG_REPLAY, ScanBoard
+
+__all__ = ["QuerySpec", "QueryOutcome", "RankDrainOutcome", "multiplex_program"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One submitted relationship query, as queued by ``QueryService.submit``."""
+
+    qid: int
+    source: int
+    dest: int
+    tenant: str = "default"
+    #: Virtual-seconds budget measured from admission (``None`` = no limit).
+    deadline: float | None = None
+    visited: str = "memory"
+    max_levels: int = 64
+    prefetch: bool = False
+    direction_opt: bool | None = None
+    direction_schedule: tuple | None = None
+
+
+@dataclass
+class QueryOutcome:
+    """One rank's view of one drained query."""
+
+    result: BFSRankResult
+    #: Adjacency entries this query's slices scanned on this rank.
+    edges_scanned: int = 0
+    #: Drain start -> admission on this rank's clock.
+    queue_seconds: float = 0.0
+    #: Admission -> completion on this rank's clock (includes time spent
+    #: interleaved behind other queries — the client-observed latency).
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class RankDrainOutcome:
+    """Everything one back-end rank reports for a whole drain."""
+
+    queries: list = field(default_factory=list)
+    rounds: int = 0
+    #: Device passes performed for armed shared sweeps on this rank.
+    shared_passes: int = 0
+    #: Armed sweeps served from a published pass (device passes avoided).
+    shared_served: int = 0
+
+
+def _advance(gen, value=None):
+    """Drive one query generator to its next level mark (or completion).
+
+    Comm yields are forwarded verbatim to whatever is driving the
+    multiplexer (ultimately the simcluster Scheduler); the level-mark
+    sentinels are intercepted here and never escape.  Returns
+    ``("mark", payload)`` or ``("done", BFSRankResult)``.
+    """
+    try:
+        item = gen.send(value)
+    except StopIteration as stop:
+        return ("done", stop.value)
+    while not (isinstance(item, tuple) and item and item[0] == "level-mark"):
+        reply = yield item
+        try:
+            item = gen.send(reply)
+        except StopIteration as stop:
+            return ("done", stop.value)
+    return ("mark", item)
+
+
+def _round_order(active: dict, specs, round_no: int) -> list[int]:
+    """Rank-uniform visit order: tenants rotated by round, FIFO within."""
+    by_tenant: dict[str, list[int]] = {}
+    for qid in sorted(active):
+        by_tenant.setdefault(specs[qid].tenant, []).append(qid)
+    tenants = sorted(by_tenant)
+    k = round_no % len(tenants)
+    rotated = tenants[k:] + tenants[:k]
+    return [qid for t in rotated for qid in by_tenant[t]]
+
+
+def _max_merge(a: dict, b: dict) -> dict:
+    return {k: max(a[k], b[k]) for k in a}
+
+
+def multiplex_program(
+    ctx,
+    db,
+    specs,
+    cfgs,
+    make_visited,
+    owner_of,
+    max_inflight: int,
+    shared_scans: bool,
+):
+    """Back-end rank program draining ``specs`` concurrently; see module doc.
+
+    ``cfgs[qid]`` is the query's :class:`BFSConfig` (``level_marks=True``);
+    ``make_visited(ctx, qid)`` builds its per-query visited structure.
+    Returns a :class:`RankDrainOutcome`.
+    """
+    board = ScanBoard() if shared_scans else None
+    if board is not None:
+        db.scan_board = board
+    try:
+        n = len(specs)
+        outcomes: list[QueryOutcome | None] = [None] * n
+        waiting = deque(range(n))
+        active: dict[int, dict] = {}
+        abort: set[int] = set()
+        t0 = ctx.clock.now
+        rounds = 0
+        any_deadline = any(s.deadline is not None for s in specs)
+
+        def finish(qid, st, result):
+            outcomes[qid] = QueryOutcome(
+                result=result,
+                edges_scanned=st["edges"],
+                queue_seconds=st["admitted"] - t0,
+                latency_seconds=ctx.clock.now - st["admitted"],
+            )
+            del active[qid]
+            abort.discard(qid)
+
+        while waiting or active:
+            rounds += 1
+            # FIFO admission up to the in-flight cap.  Advancing a fresh
+            # generator to its pre-admission mark costs no comm (and a
+            # source==dest query completes right here), so admission stays
+            # rank-uniform by construction.
+            while waiting and len(active) < max_inflight:
+                qid = waiting.popleft()
+                gen = oocbfs_program(
+                    ctx, db, cfgs[qid], make_visited(ctx, qid), owner_of=owner_of
+                )
+                st = {"gen": gen, "admitted": ctx.clock.now, "edges": 0, "next_dir": None}
+                active[qid] = st
+                before = db.stats.edges_scanned
+                out = yield from _advance(gen)
+                st["edges"] += db.stats.edges_scanned - before
+                if out[0] == "done":
+                    finish(qid, st, out[1])
+                else:
+                    st["next_dir"] = out[1][3]
+
+            order = _round_order(active, specs, rounds) if active else []
+            if board is not None:
+                board.begin_round()
+                if len(order) >= 2:
+                    board.arm(LOG_REPLAY)
+                pulls = sum(1 for q in order if active[q]["next_dir"] == BOTTOM_UP)
+                if pulls >= 2:
+                    board.arm(BOTTOM_UP_SCAN)
+
+            for qid in order:
+                st = active[qid]
+                before = db.stats.edges_scanned
+                # The generator is suspended at a level mark; "abort" (a
+                # rank-uniform decision from last round's deadline
+                # allreduce) makes it wind down with no further comm.
+                out = yield from _advance(st["gen"], "abort" if qid in abort else None)
+                # A done-mark means the search terminated at this level:
+                # the continuation runs only the (comm-free) epilogue.
+                while out[0] == "mark" and out[1][2]:
+                    st["next_dir"] = out[1][3]
+                    out = yield from _advance(st["gen"])
+                st["edges"] += db.stats.edges_scanned - before
+                if out[0] == "done":
+                    finish(qid, st, out[1])
+                else:
+                    st["next_dir"] = out[1][3]
+
+            if any_deadline and active:
+                elapsed = {
+                    qid: ctx.clock.now - active[qid]["admitted"] for qid in sorted(active)
+                }
+                merged = yield from ctx.comm.allreduce(elapsed, _max_merge)
+                for qid, spent in merged.items():
+                    limit = specs[qid].deadline
+                    if limit is not None and spent > limit:
+                        abort.add(qid)
+
+        return RankDrainOutcome(
+            queries=outcomes,
+            rounds=rounds,
+            shared_passes=board.passes if board is not None else 0,
+            shared_served=board.served if board is not None else 0,
+        )
+    finally:
+        if board is not None and getattr(db, "scan_board", None) is board:
+            del db.scan_board

@@ -1,11 +1,35 @@
-"""LRU block/page cache with write-back.
+"""Block/page caches with write-back: private LRU and rank-shared pools.
 
-This is the "block cache component" of grDB (§3.4.1) and doubles as the
-page cache of the BerkeleyDB-like store.  Keys are opaque hashables (the
-engines use ``(file_id, block_no)``); values are ``bytes`` of one block.
-Dirty blocks are flushed through a caller-supplied writer on eviction and on
-:meth:`flush`, so a cache-enabled engine coalesces repeated writes to a hot
-block into one device write — exactly the effect Figure 5.2 measures.
+:class:`LRUBlockCache` is the "block cache component" of grDB (§3.4.1) and
+doubles as the page cache of the BerkeleyDB-like store.  Keys are opaque
+hashables (the engines use ``(file_id, block_no)``); values are ``bytes``
+of one block.  Dirty blocks are flushed through a caller-supplied writer on
+eviction and on :meth:`flush`, so a cache-enabled engine coalesces repeated
+writes to a hot block into one device write — exactly the effect Figure 5.2
+measures.
+
+:class:`SharedBlockCache` hoists that per-engine cache into one pool per
+rank: every storage engine on the rank takes a :class:`CachePartition` view
+(an owner-namespaced facade with the full ``LRUBlockCache`` API), so all
+in-flight queries and all engines of a back-end compete for — and benefit
+from — the same resident set.  Two eviction policies:
+
+``"lru"``
+    One global LRU; with a single owner this is bit-identical to a private
+    :class:`LRUBlockCache` (the paper-faithful configuration).
+
+``"2q"``
+    Scan-resistant two-segment eviction (segmented LRU): first-touch blocks
+    enter a *probation* segment and only a re-reference promotes them to
+    the *protected* segment; eviction drains probation first.  A bottom-up
+    sweep streaming the whole graph can therefore never wipe out another
+    query's hot top-down working set — it churns through probation while
+    protected blocks survive.
+
+Engines must obtain caches through :func:`make_block_cache` — the factory
+is the one place private ``LRUBlockCache`` construction is allowed, which
+is what lets a deployment swap every engine onto a shared pool without
+touching engine code.
 """
 
 from __future__ import annotations
@@ -14,9 +38,17 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable
 
-from ..util.errors import StorageEngineError
+from ..util.errors import ConfigError, StorageEngineError
 
-__all__ = ["LRUBlockCache", "CacheStats"]
+__all__ = [
+    "LRUBlockCache",
+    "CacheStats",
+    "SharedBlockCache",
+    "CachePartition",
+    "make_block_cache",
+]
+
+CACHE_POLICIES = ("lru", "2q")
 
 
 @dataclass
@@ -145,3 +177,267 @@ class LRUBlockCache:
         """
         self._blocks.clear()
         self._dirty.clear()
+
+    def scan_budget(self) -> int:
+        """Cache insertions one streaming pass may make without self-harm.
+
+        A private LRU has no one else to protect, so the whole capacity is
+        the budget (inserting more would only evict the pass's own earlier
+        blocks).  Shared partitions narrow this — see
+        :meth:`CachePartition.scan_budget`.
+        """
+        return self.capacity
+
+
+class SharedBlockCache:
+    """One bounded block pool per rank, shared by every engine on it.
+
+    Entries are namespaced by ``(owner, key)``; each owner attaches through
+    :meth:`partition`, which hands back a :class:`CachePartition` exposing
+    the familiar per-engine cache API.  Hit/miss/prefetch accounting is
+    attributed to the accessing partition and evictions/write-backs to the
+    partition owning the evicted block, so in the single-owner ``"lru"``
+    configuration the partition's ``stats`` are bit-identical to a private
+    :class:`LRUBlockCache`'s.
+
+    ``policy="2q"`` splits the pool into probation + protected segments
+    (scan resistance; see module docstring).  The protected segment holds
+    at most 3/4 of capacity; a probation hit promotes, demoting the
+    protected LRU back to probation rather than evicting it.
+    """
+
+    #: Fraction of capacity the protected segment may occupy under "2q".
+    PROTECTED_FRACTION = 0.75
+
+    def __init__(self, capacity_blocks: int, policy: str = "lru"):
+        if capacity_blocks < 0:
+            raise StorageEngineError("cache capacity cannot be negative")
+        if policy not in CACHE_POLICIES:
+            raise ConfigError(
+                f"unknown cache policy {policy!r}; choose from {CACHE_POLICIES}"
+            )
+        self.capacity = capacity_blocks
+        self.policy = policy
+        self._protected_cap = (
+            max(1, int(capacity_blocks * self.PROTECTED_FRACTION))
+            if capacity_blocks
+            else 0
+        )
+        # "lru": all blocks live in _probation (single global LRU order);
+        # "2q": _probation is the first-touch segment, _protected the
+        # re-referenced one.  Keys are (owner, key) pairs throughout.
+        self._probation: OrderedDict[tuple, bytes] = OrderedDict()
+        self._protected: OrderedDict[tuple, bytes] = OrderedDict()
+        self._dirty: set[tuple] = set()
+        self._writers: dict[str, Callable[[Hashable, bytes], None] | None] = {}
+        self._partitions: dict[str, "CachePartition"] = {}
+        #: Pool-wide counters (sum over partitions, plus cross-owner events).
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def partition(self, owner: str, writer=None) -> "CachePartition":
+        """Attach (or re-attach) owner ``owner``; returns its cache view.
+
+        Re-attaching an owner name — a storage engine rebuilt on the same
+        devices, e.g. by read-repair — DROPS the previous incarnation's
+        entries without flushing: its dirty blocks describe the discarded
+        image, and writing them back through the stale writer would corrupt
+        the freshly rebuilt store.
+        """
+        if owner in self._partitions:
+            self.drop_owner(owner)
+        self._writers[owner] = writer
+        part = CachePartition(self, owner)
+        self._partitions[owner] = part
+        return part
+
+    def drop_owner(self, owner: str) -> None:
+        """Discard every block of ``owner`` without write-back."""
+        for seg in (self._probation, self._protected):
+            for k in [k for k in seg if k[0] == owner]:
+                del seg[k]
+                self._dirty.discard(k)
+
+    def scan_budget(self) -> int:
+        """Insertions one streaming pass may make without collateral damage.
+
+        Under ``"2q"`` a pass's first-touch blocks can only displace other
+        probation blocks, so the budget is the probation segment's size —
+        capping batch inserts there keeps a giant scan from monopolizing
+        even probation.  Under ``"lru"`` there is no protected segment and
+        the budget is the full capacity (the private-cache behavior).
+        """
+        if self.policy == "2q":
+            return max(0, self.capacity - self._protected_cap) or min(1, self.capacity)
+        return self.capacity
+
+    # -- core operations (called through CachePartition) --------------------
+
+    def _get(self, part: "CachePartition", key: Hashable) -> bytes | None:
+        k = (part.owner, key)
+        data = self._probation.get(k)
+        if data is not None:
+            if self.policy == "2q":
+                # Re-reference: promote to protected, demoting its LRU.
+                del self._probation[k]
+                self._protected[k] = data
+                while len(self._protected) > self._protected_cap:
+                    old_k, old_data = self._protected.popitem(last=False)
+                    self._probation[old_k] = old_data
+            else:
+                self._probation.move_to_end(k)
+            part.stats.hits += 1
+            self.stats.hits += 1
+            return data
+        data = self._protected.get(k)
+        if data is not None:
+            self._protected.move_to_end(k)
+            part.stats.hits += 1
+            self.stats.hits += 1
+            return data
+        part.stats.misses += 1
+        self.stats.misses += 1
+        return None
+
+    def _put(self, part: "CachePartition", key: Hashable, data: bytes, dirty: bool) -> None:
+        k = (part.owner, key)
+        if self.capacity == 0:
+            if dirty:
+                self._write_back(k, data)
+            return
+        if k in self._protected:
+            self._protected.move_to_end(k)
+            self._protected[k] = data
+        else:
+            if k in self._probation:
+                self._probation.move_to_end(k)
+            self._probation[k] = data
+        if dirty:
+            self._dirty.add(k)
+        else:
+            # A clean overwrite (fresh read from the device) supersedes any
+            # stale dirty mark, exactly as in the private LRU.
+            self._dirty.discard(k)
+        while len(self) > self.capacity:
+            if self._probation:
+                old_k, old_data = self._probation.popitem(last=False)
+            else:
+                old_k, old_data = self._protected.popitem(last=False)
+            evicted_part = self._partitions.get(old_k[0])
+            if evicted_part is not None:
+                evicted_part.stats.evictions += 1
+            self.stats.evictions += 1
+            if old_k in self._dirty:
+                self._dirty.discard(old_k)
+                self._write_back(old_k, old_data)
+
+    def _write_back(self, k: tuple, data: bytes) -> None:
+        writer = self._writers.get(k[0])
+        if writer is None:
+            raise StorageEngineError(
+                f"dirty block {k[1]!r} of owner {k[0]!r} evicted but no writer configured"
+            )
+        writer(k[1], data)
+        part = self._partitions.get(k[0])
+        if part is not None:
+            part.stats.writebacks += 1
+        self.stats.writebacks += 1
+
+    def _contains(self, owner: str, key: Hashable) -> bool:
+        k = (owner, key)
+        return k in self._probation or k in self._protected
+
+    def _owned_keys(self, owner: str) -> list[tuple]:
+        """Owner's blocks in recency order (probation first, then protected)."""
+        return [k for seg in (self._probation, self._protected) for k in seg if k[0] == owner]
+
+    def _data_of(self, k: tuple) -> bytes:
+        seg = self._probation if k in self._probation else self._protected
+        return seg[k]
+
+
+class CachePartition:
+    """One owner's view of a :class:`SharedBlockCache`.
+
+    Drop-in for :class:`LRUBlockCache` from a storage engine's perspective:
+    same methods, same dirty/write-back contract, per-owner ``stats``.
+    Obtained from :meth:`SharedBlockCache.partition` (or, transparently,
+    from :func:`make_block_cache`).
+    """
+
+    def __init__(self, shared: SharedBlockCache, owner: str):
+        self.shared = shared
+        self.owner = owner
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        return self.shared.capacity
+
+    def scan_budget(self) -> int:
+        return self.shared.scan_budget()
+
+    def __len__(self) -> int:
+        return len(self.shared._owned_keys(self.owner))
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self.shared._contains(self.owner, key)
+
+    def get(self, key: Hashable) -> bytes | None:
+        return self.shared._get(self, key)
+
+    def put(self, key: Hashable, data: bytes, dirty: bool = False) -> None:
+        self.shared._put(self, key, data, dirty)
+
+    def invalidate(self, key: Hashable) -> None:
+        k = (self.owner, key)
+        self.shared._probation.pop(k, None)
+        self.shared._protected.pop(k, None)
+        self.shared._dirty.discard(k)
+
+    def dirty_items(self) -> list[tuple[Hashable, bytes]]:
+        sh = self.shared
+        return [
+            (k[1], sh._data_of(k))
+            for k in sh._owned_keys(self.owner)
+            if k in sh._dirty
+        ]
+
+    def flush(self) -> None:
+        sh = self.shared
+        for k in sh._owned_keys(self.owner):
+            if k in sh._dirty:
+                sh._dirty.discard(k)
+                sh._write_back(k, sh._data_of(k))
+
+    def clear(self) -> None:
+        self.flush()
+        sh = self.shared
+        for k in sh._owned_keys(self.owner):
+            del (sh._probation if k in sh._probation else sh._protected)[k]
+
+    def drop(self) -> None:
+        self.shared.drop_owner(self.owner)
+
+
+def make_block_cache(
+    capacity_blocks: int,
+    writer: Callable[[Hashable, bytes], None] | None = None,
+    shared: SharedBlockCache | None = None,
+    owner: str = "default",
+):
+    """The one sanctioned way for a storage engine to obtain a block cache.
+
+    Without ``shared`` this returns a private :class:`LRUBlockCache` — the
+    historical per-engine behavior, bit-identical.  With ``shared`` the
+    engine attaches to the rank's pool as ``owner`` and gets a
+    :class:`CachePartition` (``capacity_blocks`` is then ignored; the pool
+    was sized at construction).  Engines must not call ``LRUBlockCache``
+    directly — the CI grep enforces it — so swapping a deployment onto a
+    shared pool never requires touching engine code.
+    """
+    if shared is None:
+        return LRUBlockCache(capacity_blocks, writer=writer)
+    return shared.partition(owner, writer=writer)

@@ -30,7 +30,7 @@ import struct
 from typing import Iterator
 
 from ..util.errors import KeyNotFound, PageFormatError, StorageEngineError
-from .blockcache import LRUBlockCache
+from .blockcache import SharedBlockCache, make_block_cache
 from .pagedfile import PagedFile
 
 __all__ = ["BTree"]
@@ -85,6 +85,8 @@ class BTree:
         cache_pages: int = 256,
         max_inline: int | None = None,
         page_cpu_seconds: float = 0.0,
+        shared_cache: SharedBlockCache | None = None,
+        cache_owner: str = "btree",
     ):
         self.pages = pages
         self.page_size = pages.page_size
@@ -94,7 +96,9 @@ class BTree:
         if self.page_size < 128:
             raise StorageEngineError("B-tree needs pages of at least 128 bytes")
         self.max_inline = max_inline if max_inline is not None else self.page_size // 4
-        self.cache = LRUBlockCache(cache_pages, writer=self._write_through)
+        self.cache = make_block_cache(
+            cache_pages, writer=self._write_through, shared=shared_cache, owner=cache_owner
+        )
         # Host-time accelerator: parsed nodes keyed by page, valid only
         # while the page cache still returns the identical bytes object
         # (any write or byte-cache miss produces a fresh object and forces

@@ -50,12 +50,16 @@ class KVStore:
         page_size: int = 4096,
         cache_pages: int = 256,
         page_cpu_seconds: float = 0.0,
+        shared_cache=None,
+        cache_owner: str = "kvstore",
     ):
         self.device = device
         self._tree = BTree(
             PagedFile(device, page_size),
             cache_pages=cache_pages,
             page_cpu_seconds=page_cpu_seconds,
+            shared_cache=shared_cache,
+            cache_owner=cache_owner,
         )
 
     def put(self, key: bytes, value: bytes) -> None:

@@ -165,11 +165,13 @@ class MiniSQL:
         clock: VirtualClock | None = None,
         cpu: CpuProfile | None = None,
         index_cache_pages: int = 256,
+        shared_cache=None,
     ):
         self._devices = device_provider
         self._clock = clock
         self._cpu = cpu if cpu is not None else CpuProfile()
         self._index_cache_pages = index_cache_pages
+        self._shared_cache = shared_cache
         self.tables: dict[str, Table] = {}
         self.statements_executed = 0
         # Prepared-statement cache: SQL text -> parsed AST.  The virtual
@@ -231,6 +233,8 @@ class MiniSQL:
             PagedFile(dev, self.INDEX_PAGE),
             cache_pages=self._index_cache_pages,
             page_cpu_seconds=self._cpu.btree_page_seconds if self._clock is not None else 0.0,
+            shared_cache=self._shared_cache,
+            cache_owner=dev.name,
         )
         table.indexes[stmt.columns] = tree
         # Backfill from existing rows.
