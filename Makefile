@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-ingest-faults test-direction test-integrity test-concurrent check-cache-factory lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults test-ingest-faults test-direction test-integrity test-concurrent test-vertexprog check-cache-factory lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -29,6 +29,9 @@ test-integrity:  # checksums / corruption / read-repair / crash-recovery suite
 test-concurrent: check-cache-factory  # multi-query scheduler suite, warnings promoted to errors
 	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_scheduler_concurrent.py
 
+test-vertexprog:  # scatter/gather vertex-program runtime + analytics suite
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_vertexprog.py tests/test_analyses.py
+
 check-cache-factory:  # block caches must come from make_block_cache, never direct construction
 	@offenders=$$(grep -rln 'LRUBlockCache(' src/repro --include='*.py' \
 		| grep -v 'storage/blockcache.py' || true); \
@@ -50,6 +53,7 @@ bench-smoke:  # the batched-I/O + direction ablations, CI-sized (ratio bands nee
 	REPRO_BENCH_SCALE=0.4 PYTHONPATH=src $(PYTHON) -m pytest \
 		benchmarks/bench_ablation_batchio.py benchmarks/bench_ablation_direction.py \
 		benchmarks/bench_ingest_failover.py benchmarks/bench_concurrent_queries.py \
+		benchmarks/bench_vertexprog.py \
 		--benchmark-only
 
 lint:  # requires ruff (pip install ruff)

@@ -122,6 +122,67 @@ def _search_concurrent(mssg, args) -> None:
     )
 
 
+def _parse_analysis(spec: str):
+    """``name[:key=val,...]`` -> (name, params); values coerced to numbers."""
+    name, _, tail = spec.partition(":")
+    params = {}
+    for kv in filter(None, tail.split(",")):
+        key, _, val = kv.partition("=")
+        for cast in (int, float):
+            try:
+                val = cast(val)
+                break
+            except ValueError:
+                continue
+        params[key.replace("-", "_")] = val
+    return name, params
+
+
+def _run_analyses(mssg, args) -> None:
+    """Run each --analysis request and print a one-line summary."""
+    for spec in args.analysis:
+        name, params = _parse_analysis(spec)
+        report = mssg.query(name, **params)
+        notes = ""
+        if report.partial:
+            notes = "   ! PARTIAL (lower bound)"
+        if report.failovers or report.device_failures:
+            notes += (
+                f"   ! device failures: {report.device_failures}, "
+                f"failovers: {report.failovers}"
+            )
+        if name == "pagerank":
+            top = ", ".join(f"{v}={r:.4g}" for v, r in report.result["top"][:5])
+            body = (
+                f"{report.result['num_vertices']:,} vertices, "
+                f"{report.result['iterations']} iterations "
+                f"(delta {report.result['delta']:.2e}); top: {top}"
+            )
+        elif name in ("components", "components-dict"):
+            sizes = report.result["sizes"]
+            body = (
+                f"{report.result['num_components']} components, "
+                f"largest {sizes[0]:,}" if sizes else "0 components"
+            )
+        elif name == "ego-net":
+            body = (
+                f"{report.result['num_vertices']:,} vertices within "
+                f"{report.result['hops']} hops of {report.result['source']} "
+                f"(per level: {report.result['per_level']})"
+            )
+        elif name == "triangles":
+            body = (
+                f"{report.result['triangles']:,} triangles, "
+                f"{report.result['wedges']:,} wedges"
+            )
+        else:
+            body = f"{report.result}"
+        print(
+            f"{name}: {body}   "
+            f"[{report.seconds:.4f} s, {report.edges_scanned:,} edges]{notes}"
+        )
+
+
 def _cmd_search(args) -> int:
     edges = _read_edges(args.edges)
     kill = args.kill_backend
@@ -197,6 +258,8 @@ def _cmd_search(args) -> int:
                 f"({rb.entries_copied:,} entries) re-replicated in "
                 f"{rb.seconds:.4f} s; effective replication {rb.replication}{notes}"
             )
+        if args.analysis:
+            _run_analyses(mssg, args)
         if args.inflight is not None or args.deadline is not None:
             _search_concurrent(mssg, args)
         else:
@@ -285,6 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
     q = sub.add_parser("search", help="ingest an edge file and run BFS queries")
     q.add_argument("edges")
     q.add_argument("--query", action="append", default=[], metavar="SRC:DST")
+    q.add_argument(
+        "--analysis",
+        action="append",
+        default=[],
+        metavar="NAME[:K=V,...]",
+        help="run a registered analytics query after ingest, e.g. "
+        "'pagerank', 'components', 'triangles', 'ego-net:source=3,hops=2'; "
+        "repeatable",
+    )
     q.add_argument("--backend", default="grDB")
     q.add_argument("--backends", type=int, default=4)
     q.add_argument("--frontends", type=int, default=1)

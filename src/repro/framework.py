@@ -680,20 +680,27 @@ class MSSG:
         shared_scans: bool | None = None,
         visited: str = "memory",
         max_levels: int = 64,
+        analytics=None,
         **kw,
     ) -> DrainReport:
         """Serve many relationship queries concurrently in one cluster run.
 
         ``pairs`` is a sequence of ``(source, dest)``; ``tenants`` (optional,
         same length) tags each query for round-robin fairness; ``deadline``
-        is a per-query virtual-seconds budget from admission.  Queries are
-        interleaved level-by-level under the admission cap, with backend
-        sweeps shared between a round's subscribers (see
+        is a per-query virtual-seconds budget from admission.  ``analytics``
+        optionally appends vertex-program queries to the same drain — each
+        entry an analysis name ("pagerank", "components", "ego-net",
+        "triangles") or an ``(analysis, params)`` pair — so analytics
+        interleave with BFS superstep-by-level under the same admission
+        control; their reports follow the BFS reports in submission order.
+        Queries are interleaved level-by-level under the admission cap, with
+        backend sweeps shared between a round's subscribers (see
         :class:`MSSGConfig.max_inflight` / ``shared_scans``).  Answers are
-        bit-identical to running each pair through :meth:`query_bfs`
-        sequentially.  When the checksum layer flagged corrupt frames on
-        any back-end during the drain, the damaged back-ends are read-
-        repaired once afterwards (``report.repairs``).
+        bit-identical to running each pair through :meth:`query_bfs` (and
+        each analytics entry through :meth:`query`) sequentially.  When the
+        checksum layer flagged corrupt frames on any back-end during the
+        drain, the damaged back-ends are read-repaired once afterwards
+        (``report.repairs``).
         """
         pairs = list(pairs)
         if tenants is not None and len(tenants) != len(pairs):
@@ -709,6 +716,11 @@ class MSSG:
                 visited=visited,
                 max_levels=max_levels,
                 **kw,
+            )
+        for entry in analytics or ():
+            analysis, params = entry if isinstance(entry, tuple) else (entry, None)
+            self.queries.submit(
+                analysis=analysis, params=params, deadline=deadline
             )
         report = self.queries.drain(
             max_inflight=max_inflight, shared_scans=shared_scans

@@ -11,16 +11,28 @@ from .declustering import (
 from .ingestion import IngestionService, IngestReport
 from .query import DrainReport, QueryReport, QueryService
 from .scheduler import QuerySpec
+from .vertexprog import (
+    ComponentsProgram,
+    EgoNetProgram,
+    PageRankProgram,
+    VertexProgram,
+    VPConfig,
+)
 
 __all__ = [
+    "ComponentsProgram",
     "Declusterer",
     "DrainReport",
     "EdgeRoundRobin",
+    "EgoNetProgram",
     "IngestReport",
     "IngestionService",
+    "PageRankProgram",
     "QueryReport",
     "QueryService",
     "QuerySpec",
+    "VPConfig",
+    "VertexProgram",
     "ReplicatedDeclusterer",
     "VertexHash",
     "VertexRoundRobin",

@@ -180,13 +180,27 @@ class QueryService:
         # Extension analyses live in their own module (runtime import to
         # avoid a cycle: analyses.py needs QueryReport from this module).
         from .analyses import register_extensions
+        from .vertexprog import register_vertex_programs
 
         register_extensions(self)
+        # The scatter/gather runtime suite registers last: it overrides the
+        # dict-based "components" extension (kept as "components-dict").
+        register_vertex_programs(self)
 
     # -- registry -----------------------------------------------------------
 
-    def register(self, name: str, runner: Callable) -> None:
-        """Register an analysis: ``runner(**params) -> QueryReport``."""
+    def register(self, name: str, runner: Callable, override: bool = False) -> None:
+        """Register an analysis: ``runner(**params) -> QueryReport``.
+
+        Duplicate names raise :class:`ConfigError` unless ``override=True``
+        is passed explicitly — a plug-in must not be able to shadow a
+        built-in (or another plug-in) by accident.
+        """
+        if name in self._analyses and not override:
+            raise ConfigError(
+                f"analysis {name!r} is already registered; "
+                "pass override=True to replace it"
+            )
         self._analyses[name] = runner
 
     def analyses(self) -> list[str]:
@@ -334,8 +348,8 @@ class QueryService:
 
     def submit(
         self,
-        source,
-        dest,
+        source=-1,
+        dest=-1,
         tenant: str = "default",
         deadline: float | None = None,
         visited: str = "memory",
@@ -343,14 +357,29 @@ class QueryService:
         prefetch: bool = False,
         direction_opt: bool | None = None,
         direction_schedule=None,
+        analysis: str = "bfs",
+        params: dict | None = None,
     ) -> int:
-        """Queue one relationship query for the next :meth:`drain`.
+        """Queue one query for the next :meth:`drain`.
 
-        Returns the query id — the index of its report in the drain's
-        ``queries`` list.  ``deadline`` is a virtual-seconds budget counted
-        from admission; an expired query is cut off at its next level
-        boundary and reported partial with ``deadline_exceeded=True``.
+        The default analysis is the relationship query (``source``/``dest``
+        BFS); passing ``analysis`` with one of the drain-capable vertex
+        programs ("pagerank", "components", "ego-net", "triangles") queues
+        an analytics query instead, parameterized by ``params``, and it
+        interleaves with BFS under the same admission control.  Returns the
+        query id — the index of its report in the drain's ``queries``
+        list.  ``deadline`` is a virtual-seconds budget counted from
+        admission; an expired query is cut off at its next level boundary
+        and reported partial with ``deadline_exceeded=True``.
         """
+        if analysis != "bfs":
+            from .vertexprog import VP_ANALYSES
+
+            if analysis not in VP_ANALYSES:
+                raise ConfigError(
+                    f"analysis {analysis!r} cannot be drained concurrently; "
+                    f"available: {('bfs',) + VP_ANALYSES}"
+                )
         qid = len(self._submitted)
         self._submitted.append(
             QuerySpec(
@@ -366,6 +395,8 @@ class QueryService:
                 direction_schedule=(
                     tuple(direction_schedule) if direction_schedule else None
                 ),
+                analysis=analysis,
+                params=dict(params) if params else None,
             )
         )
         return qid
@@ -390,21 +421,32 @@ class QueryService:
         if inflight < 1:
             raise ConfigError(f"max_inflight must be >= 1, got {inflight}")
         sharing = self.shared_scans if shared_scans is None else bool(shared_scans)
+        # BFS specs get an Algorithm-1 config; analytics specs get a
+        # level-marked vertex-program generator factory instead.
+        from .vertexprog import make_vp_generator, vp_report
+
         cfgs = []
         seqs = []
+        vp_gens = {}
         for s in specs:
-            cfgs.append(
-                BFSConfig(
-                    source=s.source,
-                    dest=s.dest,
-                    owner_known=self.declusterer.owner_known,
-                    max_levels=s.max_levels,
-                    prefetch=s.prefetch,
-                    ft=self._ft(),
-                    direction=self._direction(s.direction_opt, s.direction_schedule),
-                    level_marks=True,
+            if s.analysis == "bfs":
+                cfgs.append(
+                    BFSConfig(
+                        source=s.source,
+                        dest=s.dest,
+                        owner_known=self.declusterer.owner_known,
+                        max_levels=s.max_levels,
+                        prefetch=s.prefetch,
+                        ft=self._ft(),
+                        direction=self._direction(s.direction_opt, s.direction_schedule),
+                        level_marks=True,
+                    )
                 )
-            )
+            else:
+                cfgs.append(None)
+                vp_gens[s.qid] = make_vp_generator(
+                    self, s.analysis, s.params or {}, level_marks=True
+                )
             self._visited_seq += 1
             seqs.append(self._visited_seq)
         owner_of = self.declusterer.owner_of if self.declusterer.owner_known else None
@@ -413,6 +455,17 @@ class QueryService:
             def backend_program(ctx):
                 def make_visited(c, qid):
                     return self._make_visited(c, specs[qid].visited, seqs[qid])
+
+                def make_gen(c, qid):
+                    if qid in vp_gens:
+                        return vp_gens[qid](c, q)
+                    return oocbfs_program(
+                        c,
+                        self.dbs[q],
+                        cfgs[qid],
+                        make_visited(c, qid),
+                        owner_of=owner_of,
+                    )
 
                 out = yield from multiplex_program(
                     ctx,
@@ -423,6 +476,7 @@ class QueryService:
                     owner_of,
                     inflight,
                     sharing,
+                    make_gen=make_gen,
                 )
                 return out
 
@@ -433,6 +487,19 @@ class QueryService:
         for spec in specs:
             per_rank = [ro.queries[spec.qid] for ro in rank_outs]
             results = [o.result for o in per_rank]
+            if spec.analysis != "bfs":
+                reports.append(
+                    vp_report(
+                        spec.analysis,
+                        spec.params or {},
+                        results,
+                        seconds=max(o.latency_seconds for o in per_rank),
+                        edges_scanned=sum(o.edges_scanned for o in per_rank),
+                        tenant=spec.tenant,
+                        queue_seconds=max(o.queue_seconds for o in per_rank),
+                    )
+                )
+                continue
             levels = {r.found_level for r in results}
             if len(levels) != 1:
                 raise ConfigError(

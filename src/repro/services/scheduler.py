@@ -64,6 +64,12 @@ class QuerySpec:
     prefetch: bool = False
     direction_opt: bool | None = None
     direction_schedule: tuple | None = None
+    #: Which registered analysis runs this query: ``"bfs"`` (the default
+    #: relationship query) or a drain-capable vertex-program analysis
+    #: ("pagerank", "components", "ego-net", "triangles").
+    analysis: str = "bfs"
+    #: Keyword parameters for non-BFS analyses (``None`` = defaults).
+    params: dict | None = None
 
 
 @dataclass
@@ -137,13 +143,24 @@ def multiplex_program(
     owner_of,
     max_inflight: int,
     shared_scans: bool,
+    make_gen=None,
 ):
     """Back-end rank program draining ``specs`` concurrently; see module doc.
 
     ``cfgs[qid]`` is the query's :class:`BFSConfig` (``level_marks=True``);
     ``make_visited(ctx, qid)`` builds its per-query visited structure.
-    Returns a :class:`RankDrainOutcome`.
+    ``make_gen(ctx, qid)``, when given, builds the query's level-marked
+    generator instead of the default Algorithm-1 BFS — any generator
+    speaking the same mark protocol (vertex programs included) can be
+    multiplexed.  Returns a :class:`RankDrainOutcome`.
     """
+    if make_gen is None:
+
+        def make_gen(c, qid):
+            return oocbfs_program(
+                c, db, cfgs[qid], make_visited(c, qid), owner_of=owner_of
+            )
+
     board = ScanBoard() if shared_scans else None
     if board is not None:
         db.scan_board = board
@@ -175,9 +192,7 @@ def multiplex_program(
             # rank-uniform by construction.
             while waiting and len(active) < max_inflight:
                 qid = waiting.popleft()
-                gen = oocbfs_program(
-                    ctx, db, cfgs[qid], make_visited(ctx, qid), owner_of=owner_of
-                )
+                gen = make_gen(ctx, qid)
                 st = {"gen": gen, "admitted": ctx.clock.now, "edges": 0, "next_dir": None}
                 active[qid] = st
                 before = db.stats.edges_scanned

@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro import MSSG, MSSGConfig
-from repro.graphgen import dedupe_edges, preferential_attachment, pubmed_semantic_graph
+from repro.graphgen import (
+    dedupe_edges,
+    preferential_attachment,
+    pubmed_like,
+    pubmed_semantic_graph,
+)
+from repro.simcluster.faults import DiskFault, FaultPlan
+from repro.util.errors import ConfigError
+
+ALL_BACKENDS = ["Array", "HashMap", "MySQL", "BerkeleyDB", "StreamDB", "grDB"]
 
 
 def two_component_edges():
@@ -34,11 +43,35 @@ class TestComponents:
         edges = two_component_edges()
         with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
             mssg.ingest(edges)
-            labels = mssg.query("components").result["labels"]
+            labels = mssg.query("components", return_labels=True).result["labels"]
             # Every member of the second blob carries its minimum id (100).
             assert labels[200] == 200 and labels[201] == 200
             blob_b = {v: lab for v, lab in labels.items() if 100 <= v < 200}
             assert blob_b and all(lab == 100 for lab in blob_b.values())
+
+    @pytest.mark.parametrize("analysis", ["components", "components-dict"])
+    def test_labels_gated_behind_parameter(self, analysis):
+        # The per-vertex label table is an unbounded payload at scale:
+        # absent by default, present on request, counts always present.
+        edges = two_component_edges()
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            bare = mssg.query(analysis).result
+            assert "labels" not in bare
+            assert bare["num_components"] == 3
+            assert bare["sizes"][-1] == 2
+            full = mssg.query(analysis, return_labels=True).result
+            assert full["labels"][201] == 200
+
+    def test_dict_baseline_agrees_with_runtime(self):
+        edges = two_component_edges()
+        with MSSG(MSSGConfig(num_backends=3, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            runtime = mssg.query("components", return_labels=True).result
+            naive = mssg.query("components-dict", return_labels=True).result
+            assert runtime["num_components"] == naive["num_components"]
+            assert runtime["sizes"] == naive["sizes"]
+            assert runtime["labels"] == naive["labels"]
 
     def test_single_component_graph(self):
         edges = dedupe_edges(preferential_attachment(80, 2, seed=5))
@@ -60,6 +93,22 @@ class TestComponents:
         with MSSG(MSSGConfig(num_backends=3, backend="HashMap")) as mssg:
             mssg.ingest(edges)
             assert mssg.query("components").result["num_components"] == expected
+
+
+class TestRegisterGuard:
+    def test_duplicate_registration_rejected(self):
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            with pytest.raises(ConfigError, match="already registered"):
+                mssg.queries.register("bfs", lambda **kw: None)
+            # Nothing was clobbered: the built-in still answers.
+            mssg.ingest(np.array([[0, 1], [1, 2]]))
+            assert mssg.query_bfs(0, 2).result == 2
+
+    def test_explicit_override_allowed(self):
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            sentinel = object()
+            mssg.queries.register("degree", lambda **kw: sentinel, override=True)
+            assert mssg.query("degree") is sentinel
 
 
 class TestTypedBFS:
@@ -108,6 +157,20 @@ class TestTypedBFS:
             assert mssg.query("typed-bfs", source=0, dest=9, allowed_codes=[2, 7]).result == 2
             assert mssg.query("typed-bfs", source=0, dest=9, allowed_codes=[2]).result == 3
 
+    def test_source_equals_dest_is_zero_hops(self):
+        # Regression: the trivial relationship must answer 0 before any
+        # expansion — even with no metadata loaded and no traversable type.
+        edges = np.array([[0, 1], [1, 2], [0, 9], [9, 2]])
+        with MSSG(MSSGConfig(num_backends=2, backend="HashMap")) as mssg:
+            mssg.ingest(edges)
+            assert mssg.query("typed-bfs", source=5, dest=5, allowed_codes=[]).result == 0
+            mssg.query("load-vertex-types", type_codes={0: 0, 1: 0, 2: 0, 9: 1})
+            assert mssg.query("typed-bfs", source=0, dest=0, allowed_codes=[1]).result == 0
+            before = sum(s["adjacency_requests"] for s in mssg.backend_stats())
+            assert mssg.query("typed-bfs", source=9, dest=9, allowed_codes=[0]).result == 0
+            after = sum(s["adjacency_requests"] for s in mssg.backend_stats())
+            assert after == before  # decided with zero expansions
+
     def test_on_generated_semantic_graph(self):
         g = pubmed_semantic_graph(num_articles=60, num_authors=25, seed=4)
         code_of = {"Article": 0, "Author": 1, "Journal": 2, "MeSHTerm": 3, "Date": 4}
@@ -124,6 +187,77 @@ class TestTypedBFS:
             ).result
             # Constraining the lens can only lengthen (or sever) paths.
             assert articles_only is None or articles_only >= unrestricted
+
+
+# Big enough that queries are forced onto the simulated devices (a graph
+# that fits in the 4-block cache never touches a disk and faults can't fire).
+_FO_EDGES = pubmed_like(600, seed=11)
+
+
+def _extension_mssg(backend, replication, kill=False):
+    """Three back-ends + one front-end; back-end q lives on node 1 + q."""
+    mssg = MSSG(
+        MSSGConfig(
+            num_backends=3,
+            num_frontends=1,
+            backend=backend,
+            declustering="vertex-rr",
+            replication=replication,
+            cache_blocks=4,
+        )
+    )
+    mssg.ingest(_FO_EDGES)
+    mssg.query(
+        "load-vertex-types", type_codes={int(v): 0 for v in np.unique(_FO_EDGES)}
+    )
+    if kill:
+        mssg.set_fault_plan(FaultPlan([DiskFault(node=1, at_time=0.0)]))
+    return mssg
+
+
+class TestExtensionCoverage:
+    """Extension analyses across every backend and replication factor."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("replication", [1, 2])
+    def test_components_and_typed_bfs(self, backend, replication):
+        with _extension_mssg(backend, replication) as mssg:
+            comp = mssg.query("components")
+            assert comp.result["num_components"] >= 1
+            assert sum(comp.result["sizes"]) == len(np.unique(_FO_EDGES))
+            typed = mssg.query("typed-bfs", source=0, dest=100, allowed_codes=[0])
+            plain = mssg.query_bfs(0, 100)
+            assert typed.result == plain.result
+            assert not typed.partial
+
+
+class TestExtensionFailover:
+    """Mid-query device deaths through the extension analyses."""
+
+    @pytest.mark.parametrize("backend", ["grDB", "BerkeleyDB", "StreamDB"])
+    def test_replicated_kill_preserves_answers(self, backend):
+        with _extension_mssg(backend, replication=2) as healthy:
+            comp_h = healthy.query("components").result
+            typed_h = healthy.query(
+                "typed-bfs", source=0, dest=100, allowed_codes=[0]
+            ).result
+        with _extension_mssg(backend, replication=2, kill=True) as faulted:
+            comp_f = faulted.query("components")
+            typed_f = faulted.query("typed-bfs", source=0, dest=100, allowed_codes=[0])
+        assert comp_f.result == comp_h
+        assert not comp_f.partial
+        assert comp_f.device_failures >= 1
+        # Broadcast expansion: the survivor's union covers the dead holder.
+        assert typed_f.result == typed_h
+        assert not typed_f.partial
+
+    def test_unreplicated_kill_degrades_to_partial(self):
+        with _extension_mssg("grDB", replication=1, kill=True) as mssg:
+            comp = mssg.query("components")
+            assert comp.partial
+            assert comp.device_failures >= 1
+            typed = mssg.query("typed-bfs", source=0, dest=100, allowed_codes=[0])
+            assert typed.partial
 
 
 class TestLocalVertices:
