@@ -203,6 +203,7 @@ def _cmd_search(args) -> int:
         declustering=args.declustering,
         replication=args.replication,
         direction_opt=not args.no_direction_opt,
+        compress_adjacency=not args.no_compress_adjacency,
         # An ingest-time kill must be armed before ingestion runs (virtual
         # clocks restart at 0 for every cluster run).
         fault_plan=(
@@ -408,6 +409,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the direction-optimizing (push/pull hybrid) BFS and "
         "search pure top-down like the paper's prototype",
+    )
+    q.add_argument(
+        "--no-compress-adjacency",
+        action="store_true",
+        help="store raw 8-byte adjacency slots / 16-byte log entries "
+        "instead of delta+varint compressed sub-blocks and records (the "
+        "paper prototype's format)",
     )
     q.add_argument(
         "--rebalance",

@@ -27,6 +27,7 @@ from ..graphdb.grdb import GrDBFormat
 from ..graphgen import CSRGraph
 from ..bfs import sample_queries_by_distance
 from ..simcluster import DiskProfile, NodeSpec
+from ..util.errors import SimulationError
 from .workloads import Workload, load_edges
 
 __all__ = [
@@ -113,6 +114,13 @@ class Deployment:
     #: benchmark (``bench_concurrent_queries``) opts into ``"2q"``
     #: explicitly.
     cache_policy: str = "lru"
+    #: Delta+varint compressed adjacency.  Defaults *off* here — the
+    #: paper's prototype stored raw 8-byte slot words and 16-byte log
+    #: entries, and compression changes every device's byte counts and
+    #: timings, so the chapter-5 figures stay bit-identical; the
+    #: compression ablation (``bench_ablation_compression``) flips this on
+    #: explicitly.
+    compress_adjacency: bool = False
 
 
 @dataclass
@@ -175,6 +183,7 @@ def build_and_ingest(
             direction_opt=deployment.direction_opt,
             checksums=deployment.checksums,
             cache_policy=deployment.cache_policy,
+            compress_adjacency=deployment.compress_adjacency,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )
@@ -249,9 +258,18 @@ def run_search_experiment(
         buckets: dict[int, list[tuple[float, float]]] = {}
         for s, d, dist in queries:
             report = mssg.query_bfs(s, d, pipelined=pipelined, visited=visited, **query_kw)
-            assert report.result == dist, (
-                f"BFS returned {report.result} for {s}->{d}, expected {dist}"
-            )
+            if report.result != dist:
+                # Record the failing query before raising, so a wrong answer
+                # in a long sweep names exactly what broke; an assert here
+                # would also vanish under ``python -O``.
+                result.num_queries += 1
+                result.total_seconds += report.seconds
+                result.total_edges_scanned += report.edges_scanned
+                raise SimulationError(
+                    f"BFS on {deployment.backend} x{deployment.num_backends} "
+                    f"({workload.name}) returned distance {report.result} for "
+                    f"query {s}->{d}, expected {dist}"
+                )
             buckets.setdefault(dist, []).append((report.seconds, report.edges_per_second))
             result.num_queries += 1
             result.total_seconds += report.seconds

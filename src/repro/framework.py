@@ -37,6 +37,7 @@ from .services import (
 from .storage.blockcache import CACHE_POLICIES
 from .simcluster import FaultPlan, NodeSpec, SimCluster
 from .util.errors import ConfigError, DeviceFailedError
+from .util.varint import edge_block_bytes
 
 __all__ = ["MSSG", "MSSGConfig", "RebalanceReport", "ScrubReport"]
 
@@ -154,6 +155,15 @@ class MSSGConfig:
     #: device pass, decoded adjacency fanned to every subscriber.  Answers
     #: are unaffected; only device time is.  Off in the experiment harness.
     shared_scans: bool = True
+    #: Delta+varint compressed adjacency (:mod:`repro.util.varint`): grDB
+    #: sub-block interiors and StreamDB log records store sorted neighbor
+    #: gaps as varints instead of raw 8-byte words, and replication
+    #: repair/rebalance ships adjacency in the same compact form.  Fewer
+    #: device bytes per query at a per-byte vectorized decode CPU cost
+    #: (``CpuProfile.varint_decode_seconds``); answers are unaffected.
+    #: No-op for the other four backends.  The experiment harness turns it
+    #: off to keep paper figures bit-identical.
+    compress_adjacency: bool = True
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -177,6 +187,22 @@ class MSSGConfig:
             )
         if self.max_inflight < 1:
             raise ConfigError(f"max_inflight must be >= 1, got {self.max_inflight}")
+
+
+def _adjacency_wire_size(entries, compress: bool) -> int:
+    """Bytes one adjacency shipment (rebalance/repair) puts on the wire.
+
+    Compressed deployments move adjacency compressed: the same record
+    framing the StreamDB log uses (12-byte header + delta+varint edge
+    block).  Raw deployments ship 16-byte pairs.  Either way +8 bytes of
+    message header; ``None`` (extraction failed at the source) is a bare
+    header.
+    """
+    if entries is None:
+        return 8
+    if compress and len(entries):
+        return edge_block_bytes(entries) + 12 + 8
+    return 16 * len(entries) + 8
 
 
 class MSSG:
@@ -251,6 +277,7 @@ class MSSG:
             batch_io=cfg.batch_io,
             checksums=cfg.checksums,
             cache_policy=cfg.cache_policy,
+            compress_adjacency=cfg.compress_adjacency,
         )
 
     # -- public operations ---------------------------------------------------
@@ -404,7 +431,9 @@ class MSSG:
                             entries = extract(dbs[src], u)
                         except DeviceFailedError:
                             entries = None
-                        size = 8 if entries is None else 16 * len(entries) + 8
+                        size = _adjacency_wire_size(
+                            entries, self.config.compress_adjacency
+                        )
                         # Non-blocking send: move order is shared by all
                         # ranks and a move's source never receives for it,
                         # so processing moves in order cannot deadlock.
@@ -553,7 +582,14 @@ class MSSG:
             for u, src, dst in moves:
                 if q == src:
                     entries = extract(dbs[src], u)
-                    ctx.comm.send(F + dst, entries, tag=TAG, size=16 * len(entries) + 8)
+                    ctx.comm.send(
+                        F + dst,
+                        entries,
+                        tag=TAG,
+                        size=_adjacency_wire_size(
+                            entries, self.config.compress_adjacency
+                        ),
+                    )
                 if q == dst:
                     msg = yield from ctx.comm.recv(source=F + src, tag=TAG)
                     if len(msg.payload):

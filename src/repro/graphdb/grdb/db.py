@@ -31,9 +31,11 @@ import numpy as np
 
 from ...simcluster.disk import BlockDevice
 from ...util.errors import ConfigError, GraphStorageException
+from ...util.varint import split_sorted_fit, sorted_encoded_size
 from ..idmap import IdentityMap, IdMap
 from ..interface import GraphDB
 from .format import (
+    COMPRESSED_COUNT_CAP,
     EMPTY_SLOT,
     MAX_VERTEX_ID,
     GrDBFormat,
@@ -98,18 +100,70 @@ class GrDB(GraphDB):
     def _write_slots(self, level: int, sb: int, slots: np.ndarray) -> None:
         self.storage.write_subblock(level, sb, self.fmt.pack_slots(slots))
 
+    def _read_compressed(self, level: int, sb: int) -> tuple[np.ndarray, int]:
+        """Read + unframe one compressed sub-block: ``(values, tail slot)``.
+
+        Charges the same per-sub-block addressing cost as the raw path plus
+        the vectorized varint decode, per byte actually decoded.
+        """
+        values, tail, consumed = self.fmt.decode_subblock(
+            self.storage.read_subblock(level, sb)
+        )
+        self.clock.advance(
+            self.cpu.grdb_subblock_seconds + consumed * self.cpu.varint_decode_seconds
+        )
+        return values, tail
+
+    def _write_compressed(self, level: int, sb: int, values: np.ndarray, tail: int) -> None:
+        self.storage.write_subblock(level, sb, self.fmt.encode_subblock(level, values, tail))
+
+    def _gather_sub(
+        self,
+        blocks: dict[int, dict[int, bytes]],
+        level: int,
+        sb: int,
+        k_by_level: list[int],
+    ) -> tuple[np.ndarray, int]:
+        """Gather one sub-block from an already-fetched block batch.
+
+        Returns ``(values, last)`` where ``last`` is the chain-continuation
+        word (``EMPTY_SLOT`` or a pointer).  Raw sub-blocks may include
+        ``EMPTY_SLOT`` words in ``values`` (callers filter); compressed ones
+        never do.  Charges the marginal batched sub-block cost, plus the
+        vectorized varint decode when compressed.
+        """
+        block, slot = divmod(sb, k_by_level[level])
+        sub_bytes = self.fmt.subblock_bytes(level)
+        data = blocks[level][block][slot * sub_bytes : (slot + 1) * sub_bytes]
+        if self.fmt.compress:
+            values, last, consumed = self.fmt.decode_subblock(data)
+            self.clock.advance(
+                self.cpu.grdb_batch_subblock_seconds
+                + consumed * self.cpu.varint_decode_seconds
+            )
+            return values, last
+        slots = self.fmt.parse_slots(data)
+        self.clock.advance(self.cpu.grdb_batch_subblock_seconds)
+        last = int(slots[-1])
+        return (slots[:-1] if is_pointer(last) else slots), last
+
     def _walk(self, local: int) -> tuple[list[tuple[int, int]], int]:
         """Follow ``local``'s chain to its tail; returns (path, tail fill)."""
         path = [(0, local)]
         while True:
             level, sb = path[-1]
-            slots = self._read_slots(level, sb)
-            last = int(slots[-1])
+            if self.fmt.compress:
+                values, last = self._read_compressed(level, sb)
+            else:
+                slots = self._read_slots(level, sb)
+                last = int(slots[-1])
             if is_pointer(last):
                 nxt = decode_pointer(last)
                 if len(path) > self.fmt.num_levels + 64:
                     raise GraphStorageException(f"pointer cycle in chain of local vertex {local}")
                 path.append(nxt)
+            elif self.fmt.compress:
+                return path, len(values)
             else:
                 used = int(np.count_nonzero(slots != EMPTY_SLOT))
                 return path, used
@@ -140,6 +194,9 @@ class GrDB(GraphDB):
     def _append(self, gid: int, new: np.ndarray) -> None:
         local = self.id_map.to_local(gid)
         self._known_locals.add(local)
+        if self.fmt.compress:
+            self._append_compressed(local, new)
+            return
         path, used = self._tail_info(local)
         level, sb = path[-1]
         slots = self._read_slots(level, sb).copy()
@@ -186,6 +243,57 @@ class GrDB(GraphDB):
         self._write_slots(level, sb, slots)
         self._tails[local] = (path, used)
 
+    def _append_compressed(self, local: int, new: np.ndarray) -> None:
+        """Merge ``new`` neighbors into the chain tail, delta+varint framed.
+
+        The tail's sorted list and the incoming batch are merged (a sorted
+        multiset — duplicate edges are kept); the longest unique prefix
+        whose encoding fits the tail's payload budget is re-framed in
+        place, and the spill (byte overflow plus duplicate occurrences)
+        grows the chain exactly like the raw format: ``link`` leaves the
+        full sub-block behind a pointer, ``move`` re-homes the whole tail
+        one level up first.  Per-sub-block lists stay strictly sorted, so
+        decode-side monotonicity checks have teeth.
+        """
+        path, _ = self._tail_info(local)
+        level, sb = path[-1]
+        vals, _tail = self._read_compressed(level, sb)
+        pending = np.sort(np.concatenate([vals, new.astype("<u8")]), kind="stable")
+        top = self.fmt.num_levels - 1
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > (1 << 20):
+                raise GraphStorageException(
+                    f"runaway chain growth appending to local vertex {local}"
+                )
+            fit, spill = split_sorted_fit(
+                pending, self.fmt.payload_bytes(level), COMPRESSED_COUNT_CAP
+            )
+            if len(spill) == 0:
+                self._write_compressed(level, sb, fit, EMPTY_SLOT)
+                self._tails[local] = (path, len(fit))
+                return
+            if self.growth_policy == "move" and 1 <= level < top:
+                # Re-home the whole tail one level up, free it, repoint the
+                # parent; the pending multiset retries against the larger
+                # payload budget.
+                tgt = level + 1
+                nsb = self.storage.allocate_subblock(tgt)
+                self.storage.free_subblock(level, sb)
+                plevel, psb = path[-2]
+                pvals, _ = self._read_compressed(plevel, psb)
+                self._write_compressed(plevel, psb, pvals, encode_pointer(tgt, nsb))
+                path[-1] = (tgt, nsb)
+                level, sb = tgt, nsb
+            else:
+                tgt = min(level + 1, top)
+                nsb = self.storage.allocate_subblock(tgt)
+                self._write_compressed(level, sb, fit, encode_pointer(tgt, nsb))
+                path.append((tgt, nsb))
+                level, sb = tgt, nsb
+                pending = spill
+
     # -- retrieval --------------------------------------------------------------
 
     def _get_adjacency(self, vertex: int) -> np.ndarray:
@@ -197,16 +305,19 @@ class GrDB(GraphDB):
         level, sb = 0, local
         hops = 0
         while True:
-            slots = self._read_slots(level, sb)
-            last = int(slots[-1])
+            if self.fmt.compress:
+                values, last = self._read_compressed(level, sb)
+                parts.append(values)
+            else:
+                slots = self._read_slots(level, sb)
+                last = int(slots[-1])
+                parts.append(slots[:-1] if is_pointer(last) else slots)
             if is_pointer(last):
-                parts.append(slots[:-1])
                 level, sb = decode_pointer(last)
                 hops += 1
                 if hops > 1 << 20:
                     raise GraphStorageException(f"runaway chain for vertex {vertex}")
             else:
-                parts.append(slots)
                 break
         flat = np.concatenate(parts)
         return flat[flat != EMPTY_SLOT].astype(np.int64)
@@ -258,19 +369,10 @@ class GrDB(GraphDB):
                 self.clock.advance(len(blocks[level]) * self.cpu.grdb_subblock_seconds)
             nxt = []
             for level, sb, i in pending:
-                block, slot = divmod(sb, k_by_level[level])
-                sub_bytes = self.fmt.subblock_bytes(level)
-                slots = self.fmt.parse_slots(
-                    blocks[level][block][slot * sub_bytes : (slot + 1) * sub_bytes]
-                )
-                self.clock.advance(self.cpu.grdb_batch_subblock_seconds)
-                last = int(slots[-1])
+                vals, last = self._gather_sub(blocks, level, sb, k_by_level)
+                parts[i].append(vals)
                 if is_pointer(last):
-                    parts[i].append(slots[:-1])
-                    tgt_level, tgt_sb = decode_pointer(last)
-                    nxt.append((tgt_level, tgt_sb, i))
-                else:
-                    parts[i].append(slots)
+                    nxt.append((*decode_pointer(last), i))
             pending = nxt
         total = 0
         for chain in parts:
@@ -330,19 +432,10 @@ class GrDB(GraphDB):
                     self.clock.advance(len(blocks[level]) * self.cpu.grdb_subblock_seconds)
                 nxt = []
                 for level, sb, i in pending:
-                    block, slot = divmod(sb, k_by_level[level])
-                    sub_bytes = self.fmt.subblock_bytes(level)
-                    slots = self.fmt.parse_slots(
-                        blocks[level][block][slot * sub_bytes : (slot + 1) * sub_bytes]
-                    )
-                    self.clock.advance(self.cpu.grdb_batch_subblock_seconds)
-                    last = int(slots[-1])
+                    vals, last = self._gather_sub(blocks, level, sb, k_by_level)
+                    parts[i].append(vals)
                     if is_pointer(last):
-                        parts[i].append(slots[:-1])
-                        tgt_level, tgt_sb = decode_pointer(last)
-                        nxt.append((tgt_level, tgt_sb, i))
-                    else:
-                        parts[i].append(slots)
+                        nxt.append((*decode_pointer(last), i))
                 pending = nxt
             for i in sel:
                 chain = parts[int(i)]
@@ -384,6 +477,19 @@ class GrDB(GraphDB):
         d0 = self.fmt.capacities[0]
         level0 = sorted(b for lvl, b in self.storage._written_blocks if lvl == 0)
         data = self.storage.read_block_batch(0, level0)
+        if self.fmt.compress:
+            sub_bytes = self.fmt.subblock_bytes(0)
+            for block in level0:
+                raw = data[block]
+                for slot in range(k):
+                    values, tail, _ = self.fmt.decode_subblock(
+                        raw[slot * sub_bytes : (slot + 1) * sub_bytes]
+                    )
+                    # Occupied iff it stores neighbors or continues a chain
+                    # (a count-0 head whose first neighbor spilled).
+                    if len(values) or is_pointer(tail):
+                        self._known_locals.add(block * k + slot)
+            return
         for block in level0:
             slots = self.fmt.parse_slots(data[block])
             occupied = np.flatnonzero((slots.reshape(k, d0) != EMPTY_SLOT).any(axis=1))

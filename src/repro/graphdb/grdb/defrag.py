@@ -18,9 +18,11 @@ abandoned sub-blocks return to the per-level free lists.
 
 from __future__ import annotations
 
+import numpy as np
 
+from ...util.varint import split_sorted_fit
 from .db import GrDB
-from .format import encode_pointer
+from .format import COMPRESSED_COUNT_CAP, EMPTY_SLOT, encode_pointer
 
 __all__ = ["defragment_vertex", "defragment", "chain_length"]
 
@@ -36,6 +38,8 @@ def defragment_vertex(db: GrDB, vertex: int) -> bool:
     path, _used = db._walk(local)
     if len(path) <= 2 and _is_compact(db, path):
         return False
+    if db.fmt.compress:
+        return _defragment_vertex_compressed(db, local, path)
     neighbors = db._get_adjacency(vertex)
     caps = db.fmt.capacities
     top = db.fmt.num_levels - 1
@@ -91,6 +95,48 @@ def defragment_vertex(db: GrDB, vertex: int) -> bool:
 
     db._write_slots(0, local, l0)
     db._tails[local] = (new_path, used)
+    return True
+
+
+def _defragment_vertex_compressed(db: GrDB, local: int, path) -> bool:
+    """Compact one compressed chain.
+
+    The whole multiset is gathered, re-sorted, and re-framed greedily: the
+    level-0 anchor takes the longest unique prefix its payload budget
+    holds, then each further hop goes to the smallest level whose budget
+    holds *everything* still pending (top level otherwise — extreme hubs,
+    or duplicate occurrences that by construction need one sub-block each).
+    """
+    neighbors = db._get_adjacency(db.id_map.to_global(local))
+    for level, sb in path[1:]:
+        db.storage.free_subblock(level, sb)
+    top = db.fmt.num_levels - 1
+    pending = np.sort(neighbors.astype("<u8"), kind="stable")
+    fit, pending = split_sorted_fit(
+        pending, db.fmt.payload_bytes(0), COMPRESSED_COUNT_CAP
+    )
+    new_path = [(0, local)]
+    prev = (0, local, fit)
+    while len(pending):
+        target = top
+        for lv in range(1, top + 1):
+            _, spill = split_sorted_fit(
+                pending, db.fmt.payload_bytes(lv), COMPRESSED_COUNT_CAP
+            )
+            if len(spill) == 0:
+                target = lv
+                break
+        fit, pending = split_sorted_fit(
+            pending, db.fmt.payload_bytes(target), COMPRESSED_COUNT_CAP
+        )
+        sb = db.storage.allocate_subblock(target)
+        plevel, psb, pvals = prev
+        db._write_compressed(plevel, psb, pvals, encode_pointer(target, sb))
+        new_path.append((target, sb))
+        prev = (target, sb, fit)
+    plevel, psb, pvals = prev
+    db._write_compressed(plevel, psb, pvals, EMPTY_SLOT)
+    db._tails[local] = (new_path, len(pvals))
     return True
 
 

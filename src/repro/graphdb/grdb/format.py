@@ -18,21 +18,41 @@ From §3.4.1 and §4.1.6 of the paper:
   which is in file ``s / k_l / N_l`` at byte offset
   ``B_l * ((s / k_l) % N_l) + b * d_l * (s % k_l)`` — the paper's modulo
   arithmetic, implemented verbatim in :meth:`GrDBFormat.locate`.
+
+With ``compress=True`` the geometry (levels, block sizes, addressing) is
+unchanged but each sub-block's *interior* becomes a delta+varint frame
+instead of raw slot words::
+
+    count u16 LE | varint delta stream | zero padding | tail slot u64 LE
+
+The tail slot keeps the raw format's semantics exactly — ``EMPTY_SLOT``
+terminates the chain, a pointer word continues it — so chain walking,
+defragmentation, the superblock, and the WAL are format-agnostic.  The
+count ``0xFFFF`` is the never-written sentinel (all-0xFF fill decodes as an
+empty sub-block).  Neighbors inside one sub-block are strictly sorted;
+duplicate edges spill to the next sub-block of the chain, preserving the
+stored multiset.  A sub-block of ``d_l`` slots thus offers
+``8 * d_l - 10`` payload bytes, which small gap varints fill with several
+times ``d_l`` neighbors — shorter chains, fewer blocks per vertex, fewer
+bytes moved per device read.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
 
-from ...util.errors import ConfigError
+from ...util.errors import ConfigError, GraphStorageException
+from ...util.varint import decode_sorted, encode_sorted
 
 __all__ = [
     "GrDBFormat",
     "SLOT_BYTES",
     "EMPTY_SLOT",
     "MAX_VERTEX_ID",
+    "COMPRESSED_COUNT_CAP",
     "encode_pointer",
     "decode_pointer",
     "is_pointer",
@@ -44,6 +64,13 @@ SLOT_BYTES = 8
 EMPTY_SLOT = (1 << 64) - 1
 #: Plain vertex ids keep the top 3 bits clear.
 MAX_VERTEX_ID = (1 << 61) - 1
+
+#: Compressed sub-blocks: never-written (all-0xFF) count sentinel, and the
+#: per-sub-block entry cap that keeps every real count below it.
+_COUNT_EMPTY = 0xFFFF
+COMPRESSED_COUNT_CAP = 0xFFFE
+_COUNT_STRUCT = struct.Struct("<H")
+_TAIL_STRUCT = struct.Struct("<Q")
 
 _PTR_TAG = 0b100 << 61
 _TAG_MASK = 0b111 << 61
@@ -86,6 +113,10 @@ class GrDBFormat:
     #: Maximum storage file size M, in bytes (prototype: 256 MB; scaled
     #: experiments shrink it to keep many files in play).
     max_file_bytes: int = 256 << 20
+    #: Delta+varint compressed sub-block interiors (see module doc).  Part
+    #: of the format — a store written one way must be reopened the same
+    #: way, which the superblock enforces.
+    compress: bool = False
 
     def __post_init__(self):
         if not self.capacities:
@@ -164,3 +195,55 @@ class GrDBFormat:
     @staticmethod
     def pack_slots(slots: np.ndarray) -> bytes:
         return np.ascontiguousarray(slots.astype("<u8")).tobytes()
+
+    # -- compressed sub-block frame (compress=True) -------------------------
+
+    def payload_bytes(self, level: int) -> int:
+        """Varint payload budget of one compressed sub-block: everything
+        between the u16 count header and the reserved u64 tail slot."""
+        return self.subblock_bytes(level) - _COUNT_STRUCT.size - _TAIL_STRUCT.size
+
+    def encode_subblock(self, level: int, values: np.ndarray, tail_slot: int) -> bytes:
+        """Frame a strictly sorted neighbor list (+ tail slot) for ``level``."""
+        n = len(values)
+        if n > COMPRESSED_COUNT_CAP:
+            raise GraphStorageException(
+                f"{n} neighbors exceed one compressed sub-block's count cap"
+            )
+        payload = encode_sorted(values)
+        budget = self.payload_bytes(level)
+        if len(payload) > budget:
+            raise GraphStorageException(
+                f"compressed payload of {len(payload)} bytes overflows the "
+                f"{budget}-byte budget of a level-{level} sub-block"
+            )
+        return (
+            _COUNT_STRUCT.pack(n)
+            + payload
+            + b"\x00" * (budget - len(payload))
+            + _TAIL_STRUCT.pack(tail_slot)
+        )
+
+    def decode_subblock(self, data: bytes) -> tuple[np.ndarray, int, int]:
+        """Unframe one compressed sub-block: ``(values, tail slot, consumed)``.
+
+        ``consumed`` is the varint byte count actually decoded (the unit the
+        CPU model charges).  An all-0xFF (never written) sub-block decodes
+        to an empty list with an ``EMPTY_SLOT`` tail.  Truncated or
+        non-monotone streams raise :class:`GraphStorageException`.
+        """
+        (n,) = _COUNT_STRUCT.unpack_from(data)
+        (tail,) = _TAIL_STRUCT.unpack_from(data, len(data) - _TAIL_STRUCT.size)
+        if n == _COUNT_EMPTY or n == 0:
+            return np.empty(0, dtype=np.uint64), tail, 0
+        values, consumed = decode_sorted(
+            data[_COUNT_STRUCT.size : len(data) - _TAIL_STRUCT.size],
+            n,
+            what="grDB sub-block delta stream",
+        )
+        if int(values[-1]) > MAX_VERTEX_ID:
+            raise GraphStorageException(
+                f"corrupt grDB sub-block: decoded neighbor {int(values[-1])} "
+                "exceeds the 61-bit vertex id space"
+            )
+        return values, tail, consumed

@@ -11,10 +11,16 @@ The superblock serializes to its own small device (``grdb_super``) with a
 checksummed binary layout:
 
     magic u32 | version u16 | num_levels u16 | M u64
+    [version 2 only] flags u16  (bit 0: compressed sub-block interiors)
     per level: capacity u32 | block_size u32
     per level: next_subblock u64 | nfree u32 | free entries u64...
     nwritten u32 | (level u16, block u64) entries...
     crc32 u32 over everything above
+
+Uncompressed instances keep writing version 1, byte-identical to the
+historical layout; ``compress=True`` bumps to version 2 and records the
+flag, so reopening a compressed store with a raw-format configuration (or
+vice versa) fails the format cross-check instead of mis-parsing sub-blocks.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ __all__ = ["save_superblock", "load_superblock"]
 
 _MAGIC = 0x67724442  # "grDB"
 _VERSION = 1
+_VERSION_COMPRESSED = 2
+_FLAG_COMPRESS = 1
 _HEADER = struct.Struct(">IHHQ")
 
 
@@ -37,7 +45,10 @@ def save_superblock(device: BlockDevice, storage) -> None:
     """Serialize a :class:`GrDBStorage`'s bookkeeping to ``device``."""
     fmt: GrDBFormat = storage.fmt
     out = bytearray()
-    out += _HEADER.pack(_MAGIC, _VERSION, fmt.num_levels, fmt.max_file_bytes)
+    version = _VERSION_COMPRESSED if fmt.compress else _VERSION
+    out += _HEADER.pack(_MAGIC, version, fmt.num_levels, fmt.max_file_bytes)
+    if fmt.compress:
+        out += struct.pack(">H", _FLAG_COMPRESS)
     for cap, bs in zip(fmt.capacities, fmt.block_sizes):
         out += struct.pack(">II", cap, bs)
     for level in range(fmt.num_levels):
@@ -68,9 +79,13 @@ def load_superblock(device: BlockDevice) -> dict:
     magic, version, num_levels, max_file_bytes = _HEADER.unpack_from(body)
     if magic != _MAGIC:
         raise GraphStorageException("not a grDB superblock (bad magic)")
-    if version != _VERSION:
+    if version not in (_VERSION, _VERSION_COMPRESSED):
         raise GraphStorageException(f"unsupported superblock version {version}")
     off = _HEADER.size
+    flags = 0
+    if version == _VERSION_COMPRESSED:
+        (flags,) = struct.unpack_from(">H", body, off)
+        off += 2
     capacities, block_sizes = [], []
     for _ in range(num_levels):
         cap, bs = struct.unpack_from(">II", body, off)
@@ -97,6 +112,7 @@ def load_superblock(device: BlockDevice) -> dict:
             capacities=tuple(capacities),
             block_sizes=tuple(block_sizes),
             max_file_bytes=max_file_bytes,
+            compress=bool(flags & _FLAG_COMPRESS),
         ),
         "next_subblock": next_subblock,
         "free": free,

@@ -8,6 +8,7 @@ CPU profile, local disks).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Any
 
 from ..simcluster.cluster import SimNode
@@ -70,6 +71,7 @@ def make_graphdb(
     batch_io: bool = True,
     checksums: bool = False,
     cache_policy: str = "lru",
+    compress_adjacency: bool = False,
     **extra: Any,
 ) -> GraphDB:
     """Instantiate ``backend`` on ``node``.
@@ -81,7 +83,10 @@ def make_graphdb(
     the paper prototype's per-vertex loop); ``checksums`` puts every device
     of the out-of-core backends behind the CRC32 frame layer
     (:mod:`repro.storage.integrity`) and arms the crash-consistency
-    machinery (grDB's flush journal, StreamDB's durable commit records).
+    machinery (grDB's flush journal, StreamDB's durable commit records);
+    ``compress_adjacency`` switches grDB sub-blocks and the StreamDB log to
+    the delta+varint format (:mod:`repro.util.varint`) — a no-op for the
+    other four backends.
     """
     common = dict(clock=node.clock, cpu=node.spec.cpu, batch_io=batch_io, **extra)
     if checksums:
@@ -95,7 +100,12 @@ def make_graphdb(
         return HashMapGraphDB(**common)
     if backend == "StreamDB":
         meta = provider("stream_meta") if checksums else None
-        return StreamGraphDB(provider("streamdb"), meta_device=meta, **common)
+        return StreamGraphDB(
+            provider("streamdb"),
+            meta_device=meta,
+            compress=compress_adjacency,
+            **common,
+        )
     if backend == "BerkeleyDB":
         return BerkeleyGraphDB(
             provider("bdb"), cache_pages=cache_blocks, shared_cache=shared, **common
@@ -103,9 +113,12 @@ def make_graphdb(
     if backend == "MySQL":
         return MySQLGraphDB(provider, shared_cache=shared, **common)
     if backend == "grDB":
+        fmt = grdb_format if grdb_format is not None else GrDBFormat()
+        if compress_adjacency and not fmt.compress:
+            fmt = dataclasses.replace(fmt, compress=True)
         return GrDB(
             provider,
-            fmt=grdb_format,
+            fmt=fmt,
             cache_blocks=cache_blocks,
             id_map=id_map,
             growth_policy=growth_policy,

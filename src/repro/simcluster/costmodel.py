@@ -103,6 +103,11 @@ class CpuProfile:
     #: pass, so each extra sub-block pays only a bounds-checked slot gather
     #: (the FlashGraph/GraphMP request-merging effect on the CPU side).
     grdb_batch_subblock_seconds: float = 1.2e-6
+    #: Per-byte cost of decoding a delta+varint adjacency stream
+    #: (``repro.util.varint``).  The decode is numpy-vectorized — terminator
+    #: scan, one reduceat, one cumsum — so it streams at memory-ish rates
+    #: rather than per-branch varint loops; ~500 MB/s on a 2006 Opteron.
+    varint_decode_seconds: float = 2e-9
     row_parse_seconds: float = 2e-6  # deserialize one relational row
     sql_statement_seconds: float = 9e-5  # parse/plan/round-trip per statement
     ascii_parse_seconds: float = 3.5e-7  # parse one ASCII edge during ingest

@@ -29,7 +29,12 @@ from __future__ import annotations
 import struct
 from typing import Iterator
 
-from ..util.errors import KeyNotFound, PageFormatError, StorageEngineError
+from ..util.errors import (
+    GraphStorageException,
+    KeyNotFound,
+    PageFormatError,
+    StorageEngineError,
+)
 from .blockcache import SharedBlockCache, make_block_cache
 from .pagedfile import PagedFile
 
@@ -106,7 +111,14 @@ class BTree:
         self._parsed: dict[int, tuple[bytes, object]] = {}
         if self.pages.npages == 0:
             meta = self.pages.allocate_page()
-            assert meta == 0
+            if meta != 0:
+                # A fresh paged file must hand out page 0 for the meta
+                # node; anything else means the allocator state is corrupt
+                # (and an assert would vanish under ``python -O``).
+                raise GraphStorageException(
+                    f"fresh B-tree file allocated page {meta} for its meta "
+                    "node instead of page 0"
+                )
             root = self.pages.allocate_page()
             self.root = root
             self.free_head = -1

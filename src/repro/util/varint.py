@@ -1,0 +1,288 @@
+"""Delta+varint codec for sorted adjacency (vectorized via numpy).
+
+The compressed on-disk/on-wire adjacency representation: a sorted neighbor
+list is stored as the varint of its first value followed by the varints of
+the gaps to each successor.  Gaps in a strictly sorted list are >= 1, so a
+decoded gap of 0 — or a stream that ends mid-varint, or a varint longer
+than the canonical 9 bytes — is proof of corruption below the CRC frame
+granularity and raises instead of decoding to a garbage neighbor list.
+
+Varints are LEB128-style: 7 payload bits per byte, little-endian groups,
+high bit = continuation.  Nine bytes carry 63 payload bits, so the codec
+covers exactly the ids ``0 .. 2**63 - 1`` (every non-negative int64) and a
+ten-byte group is never canonical.
+
+Both encode and decode are numpy-vectorized: encode computes every value's
+byte length with nine threshold compares and scatters the 7-bit groups in
+at most nine passes; decode finds group terminators from the continuation
+bits, reduces each group with ``np.add.reduceat``, and rebuilds values with
+one cumulative sum.  The decode side is what the CPU cost model charges
+(``CpuProfile.varint_decode_seconds`` per encoded byte).
+
+For edge *batches* (StreamDB log records, rebalance wire transfers) the
+module adds a two-stream layout: edges sorted by ``(src, dst)``, sources
+delta-encoded non-strictly (repeats are legal — a vertex has many edges),
+and destinations delta-encoded within each source group, restarting raw at
+every group boundary (detectable from the source stream's non-zero gaps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import GraphStorageException
+
+__all__ = [
+    "MAX_ENCODABLE",
+    "varint_lengths",
+    "encode_varints",
+    "decode_varints",
+    "encode_sorted",
+    "decode_sorted",
+    "sorted_encoded_size",
+    "split_sorted_fit",
+    "encode_edge_block",
+    "decode_edge_block",
+    "edge_block_bytes",
+]
+
+#: Largest encodable value: 9 varint bytes * 7 payload bits = 63 bits.
+MAX_ENCODABLE = (1 << 63) - 1
+
+#: value >= _THRESHOLDS[k]  <=>  its varint needs more than k+1 bytes.
+_THRESHOLDS = np.array([1 << (7 * k) for k in range(1, 10)], dtype=np.uint64)
+
+
+def _as_u64(values) -> np.ndarray:
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    if v.ndim != 1:
+        raise GraphStorageException(f"varint codec expects a 1-d array, got shape {v.shape}")
+    return v
+
+
+def varint_lengths(values) -> np.ndarray:
+    """Encoded byte length of each value (1..9, vectorized)."""
+    v = _as_u64(values)
+    if v.size and int(v.max()) > MAX_ENCODABLE:
+        raise GraphStorageException(
+            f"value {int(v.max())} exceeds the codec's 63-bit range"
+        )
+    return 1 + (v[:, None] >= _THRESHOLDS[None, :]).sum(axis=1)
+
+
+def encode_varints(values) -> bytes:
+    """Encode a flat sequence of u64 values (each <= ``MAX_ENCODABLE``)."""
+    v = _as_u64(values)
+    if v.size == 0:
+        return b""
+    lengths = varint_lengths(v)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    out = np.zeros(int(ends[-1]), dtype=np.uint8)
+    for k in range(int(lengths.max())):
+        sel = lengths > k
+        group = ((v[sel] >> np.uint64(7 * k)) & np.uint64(0x7F)).astype(np.uint8)
+        cont = (lengths[sel] > k + 1).astype(np.uint8) << 7
+        out[starts[sel] + k] = group | cont
+    return out.tobytes()
+
+
+def decode_varints(buf: bytes, count: int, what: str = "varint stream") -> tuple[np.ndarray, int]:
+    """Decode the first ``count`` varints of ``buf``.
+
+    Returns ``(values, consumed_bytes)``; trailing bytes (sub-block
+    padding) are ignored.  Raises :class:`GraphStorageException` when the
+    stream is truncated or a group is longer than the canonical 9 bytes.
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.uint64), 0
+    b = np.frombuffer(buf, dtype=np.uint8)
+    terminators = np.flatnonzero((b & 0x80) == 0)
+    if len(terminators) < count:
+        raise GraphStorageException(
+            f"truncated {what}: {count} values promised, "
+            f"only {len(terminators)} varints terminate in {len(b)} bytes"
+        )
+    end = int(terminators[count - 1]) + 1
+    b = b[:end]
+    ends = terminators[:count]
+    starts = np.empty(count, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    if int(lengths.max()) > 9:
+        raise GraphStorageException(
+            f"corrupt {what}: varint group of {int(lengths.max())} bytes "
+            "(canonical maximum is 9)"
+        )
+    # Position of every byte within its group, then one reduceat per group.
+    pos = np.arange(end, dtype=np.uint64) - np.repeat(starts, lengths).astype(np.uint64)
+    groups = (b & np.uint8(0x7F)).astype(np.uint64) << (np.uint64(7) * pos)
+    values = np.add.reduceat(groups, starts)
+    return values, end
+
+
+# -- sorted neighbor lists (grDB sub-blocks) --------------------------------
+
+
+def encode_sorted(values) -> bytes:
+    """Encode a strictly increasing neighbor list as first + gap varints.
+
+    Duplicates and unsorted input are rejected — the caller owns keeping
+    per-sub-block lists strictly sorted (duplicate edges spill to the next
+    sub-block in the chain).
+    """
+    v = _as_u64(values)
+    if v.size == 0:
+        return b""
+    if v.size > 1 and np.any(v[1:] <= v[:-1]):
+        raise GraphStorageException(
+            "encode_sorted needs a strictly increasing list "
+            "(duplicates rejected; sort and dedupe first)"
+        )
+    deltas = np.empty(v.size, dtype=np.uint64)
+    deltas[0] = v[0]
+    deltas[1:] = v[1:] - v[:-1]
+    return encode_varints(deltas)
+
+
+def decode_sorted(buf: bytes, count: int, what: str = "delta stream") -> tuple[np.ndarray, int]:
+    """Decode ``count`` strictly increasing values; ``(values, consumed)``.
+
+    A gap of zero (a duplicate — which :func:`encode_sorted` can never
+    produce), a wrapped cumulative sum, or a value past the 63-bit range
+    all mean the bytes were damaged below the checksum granularity; each
+    raises :class:`GraphStorageException` instead of returning garbage.
+    """
+    deltas, consumed = decode_varints(buf, count, what=what)
+    if count == 0:
+        return deltas, consumed
+    if count > 1 and int(deltas[1:].min()) == 0:
+        raise GraphStorageException(
+            f"non-monotone {what}: zero gap decodes to a duplicate neighbor"
+        )
+    values = np.cumsum(deltas, dtype=np.uint64)
+    # uint64 cumsum wrap-around shows up as a non-increase.
+    if count > 1 and np.any(values[1:] <= values[:-1]):
+        raise GraphStorageException(f"non-monotone {what}: decoded ids decrease")
+    if int(values[-1]) > MAX_ENCODABLE:
+        raise GraphStorageException(
+            f"corrupt {what}: decoded id {int(values[-1])} exceeds the 63-bit range"
+        )
+    return values, consumed
+
+
+def sorted_encoded_size(values) -> int:
+    """Encoded byte size of a strictly increasing list (no validation)."""
+    v = _as_u64(values)
+    if v.size == 0:
+        return 0
+    deltas = np.empty(v.size, dtype=np.uint64)
+    deltas[0] = v[0]
+    deltas[1:] = v[1:] - v[:-1]
+    return int(varint_lengths(deltas).sum())
+
+
+def split_sorted_fit(pending, budget_bytes: int, max_count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split a sorted multiset into (encodable prefix, spill).
+
+    The prefix takes the first occurrence of each value, in order, while
+    its delta encoding fits ``budget_bytes`` and at most ``max_count``
+    values; everything else (byte overflow *and* duplicate occurrences)
+    spills, still sorted, for the next sub-block in the chain.  The prefix
+    may be empty when even the first varint overflows the budget — the
+    caller then stores only a continuation pointer.
+    """
+    p = _as_u64(pending)
+    if p.size == 0:
+        return p, p
+    first = np.ones(p.size, dtype=bool)
+    first[1:] = p[1:] != p[:-1]
+    uniq = p[first]
+    dups = p[~first]
+    deltas = np.empty(uniq.size, dtype=np.uint64)
+    deltas[0] = uniq[0]
+    deltas[1:] = uniq[1:] - uniq[:-1]
+    sizes = np.cumsum(varint_lengths(deltas))
+    take = int(np.searchsorted(sizes, budget_bytes, side="right"))
+    take = min(take, max_count)
+    fit = uniq[:take]
+    if take == uniq.size and dups.size == 0:
+        return fit, np.empty(0, dtype=np.uint64)
+    spill = np.sort(np.concatenate([uniq[take:], dups]), kind="stable")
+    return fit, spill
+
+
+# -- edge batches (StreamDB records, wire transfers) ------------------------
+
+
+def encode_edge_block(edges) -> bytes:
+    """Encode an ``(E, 2)`` edge batch as two delta streams.
+
+    Edges are sorted by ``(src, dst)``; sources are gap-encoded allowing
+    repeats (gap 0 = same source group), destinations restart raw at every
+    group boundary and are gap-encoded (repeats legal — a duplicate edge)
+    within it.  Decoding recovers the sorted order, not the arrival order.
+    """
+    e = np.ascontiguousarray(edges, dtype=np.uint64).reshape(-1, 2)
+    if e.size == 0:
+        return b""
+    if int(e.max()) > MAX_ENCODABLE:
+        raise GraphStorageException(
+            f"vertex id {int(e.max())} exceeds the codec's 63-bit range"
+        )
+    order = np.lexsort((e[:, 1], e[:, 0]))
+    srcs = e[order, 0]
+    dsts = e[order, 1]
+    sdel = np.empty(len(srcs), dtype=np.uint64)
+    sdel[0] = srcs[0]
+    sdel[1:] = srcs[1:] - srcs[:-1]
+    new_group = np.ones(len(srcs), dtype=bool)
+    new_group[1:] = sdel[1:] != 0
+    ddel = np.empty(len(dsts), dtype=np.uint64)
+    ddel[0] = dsts[0]
+    ddel[1:] = np.where(new_group[1:], dsts[1:], dsts[1:] - dsts[:-1])
+    return encode_varints(sdel) + encode_varints(ddel)
+
+
+def decode_edge_block(buf: bytes, nedges: int, what: str = "edge block") -> tuple[np.ndarray, int]:
+    """Decode ``nedges`` edges from :func:`encode_edge_block` output.
+
+    Returns ``(edges (E, 2) int64, consumed_bytes)``; raises
+    :class:`GraphStorageException` on truncation, decreasing sources,
+    decreasing in-group destinations, or out-of-range ids.
+    """
+    if nedges == 0:
+        return np.zeros((0, 2), dtype=np.int64), 0
+    sdel, s_used = decode_varints(buf, nedges, what=f"{what} sources")
+    ddel, d_used = decode_varints(buf[s_used:], nedges, what=f"{what} destinations")
+    srcs = np.cumsum(sdel, dtype=np.uint64)
+    if nedges > 1 and np.any(srcs[1:] < srcs[:-1]):
+        raise GraphStorageException(f"non-monotone {what}: decoded sources decrease")
+    new_group = np.ones(nedges, dtype=bool)
+    new_group[1:] = sdel[1:] != 0
+    # Segmented cumulative sum: subtract, inside each group, the running
+    # total accumulated before the group started.
+    csum = np.cumsum(ddel, dtype=np.uint64)
+    starts = np.flatnonzero(new_group)
+    base = csum[starts] - ddel[starts]
+    counts = np.diff(np.append(starts, nedges))
+    dsts = csum - np.repeat(base, counts)
+    if np.any(dsts[~new_group] < np.roll(dsts, 1)[~new_group]):
+        raise GraphStorageException(
+            f"non-monotone {what}: in-group destinations decrease"
+        )
+    hi = max(int(srcs.max()), int(dsts.max()))
+    if hi > MAX_ENCODABLE:
+        raise GraphStorageException(
+            f"corrupt {what}: decoded id {hi} exceeds the 63-bit range"
+        )
+    out = np.empty((nedges, 2), dtype=np.int64)
+    out[:, 0] = srcs.astype(np.int64)
+    out[:, 1] = dsts.astype(np.int64)
+    return out, s_used + d_used
+
+
+def edge_block_bytes(edges) -> int:
+    """Encoded payload size of an edge batch (for wire-size accounting)."""
+    return len(encode_edge_block(edges))

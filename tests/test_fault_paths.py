@@ -345,6 +345,7 @@ def _ft_query(
     pipelined=False,
     declustering="vertex-rr",
     backend="grDB",
+    cache_blocks=4,
 ):
     mssg = MSSG(
         MSSGConfig(
@@ -353,7 +354,7 @@ def _ft_query(
             backend=backend,
             declustering=declustering,
             replication=replication,
-            cache_blocks=4,
+            cache_blocks=cache_blocks,
         )
     )
     try:
@@ -393,7 +394,10 @@ class TestQueryFailover:
         assert not faulted.partial
 
     def test_unreplicated_fault_degrades_to_partial(self):
-        _, report = _ft_query(replication=1, kill=[0])  # no exception raised
+        # Cache disabled so the query must touch the dead device: with
+        # compressed adjacency (the default) this tiny graph is otherwise
+        # fully cache-resident and the fault would never fire.
+        _, report = _ft_query(replication=1, kill=[0], cache_blocks=0)
         assert report.partial
         assert report.device_failures == 1
         assert report.dropped_vertices > 0
@@ -558,7 +562,10 @@ class TestIngestionFailover:
             mssg.close()
 
     def test_unreplicated_kill_counts_losses(self):
-        mssg = self._deploy(replication=1)
+        # Kill early enough to land between window deliveries: compressed
+        # adjacency (the default) stores windows faster, and a death after
+        # the last delivery degrades the flush without losing entries.
+        mssg = self._deploy(replication=1, at_time=0.002)
         try:
             report = mssg.ingest(_FT_EDGES)
             assert report.degraded

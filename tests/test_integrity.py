@@ -452,7 +452,10 @@ class TestEndToEndReadRepair:
                 assert again.corrupt_backends == ()
 
     def test_unreplicated_corruption_degrades_to_partial(self):
-        with _deploy("grDB", replication=1) as mssg:
+        # Cache disabled so the query must read the rotted device bytes:
+        # with compressed adjacency (the default) this tiny graph is
+        # otherwise fully cache-resident and the rot goes unnoticed.
+        with _deploy("grDB", replication=1, cache_blocks=0) as mssg:
             mssg.ingest(_EDGES)
             mssg.set_fault_plan(_corrupt_plan(0))
             report = mssg.query_bfs(_SRC, _DST)
