@@ -11,7 +11,13 @@ from .failover import FaultTolerance, FTState, failover_rounds, route_to_replica
 from .oocbfs import NOT_FOUND, BFSConfig, BFSRankResult, oocbfs_program
 from .pipelined import pipelined_bfs_program
 from .sequential import bfs_distance, bfs_levels, sample_queries_by_distance
-from .visited import INFINITY, ExternalVisited, InMemoryVisited, VisitedLevels
+from .visited import (
+    INFINITY,
+    ExternalVisited,
+    InMemoryVisited,
+    PinnedVisited,
+    VisitedLevels,
+)
 
 __all__ = [
     "BFSConfig",
@@ -25,6 +31,7 @@ __all__ = [
     "INFINITY",
     "InMemoryVisited",
     "NOT_FOUND",
+    "PinnedVisited",
     "TOP_DOWN",
     "VisitedLevels",
     "bottom_up_level",

@@ -50,6 +50,11 @@ __all__ = [
 TOP_DOWN = "top-down"
 BOTTOM_UP = "bottom-up"
 
+#: Below this fraction of written adjacency blocks holding candidates, a
+#: semi-EM store's selective scan beats piggybacking on a shared
+#: whole-store sweep (the fallback-to-full-scan heuristic of DESIGN §11).
+SELECTIVE_COVERAGE_MAX = 0.5
+
 _EMPTY = np.empty(0, dtype=np.int64)
 
 
@@ -171,9 +176,19 @@ def _adjacency_source(db, candidates):
     (``scan_adjacency`` yields a vertex's full list exactly once), and the
     claim loop's examined/skipped accounting is per-vertex, so answers are
     bit-identical to the unshared plan.
+
+    Semi-EM refinement: when the store keeps a block directory and the
+    candidate set touches only a sparse fraction of written blocks
+    (GraphMP-style selective scheduling), materializing the WHOLE store
+    for the shared map would read mostly blocks no one needs — the
+    candidate-restricted selective scan is cheaper even without sharing,
+    so it is preferred and the board is left unarmed for this consumer.
     """
     board = getattr(db, "scan_board", None)
     if board is None or not board.armed("bottom-up"):
+        return db.scan_adjacency(candidates, order="storage")
+    coverage = db.frontier_block_coverage(candidates)
+    if coverage is not None and coverage < SELECTIVE_COVERAGE_MAX:
         return db.scan_adjacency(candidates, order="storage")
     token = db.stats.edges_stored
     adj = board.lookup("bottom-up", token)

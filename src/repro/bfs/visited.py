@@ -11,10 +11,22 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graphdb.metadata import ExternalMetadata, InMemoryMetadata, MetadataStore, UNSET
+from ..graphdb.metadata import (
+    ExternalMetadata,
+    InMemoryMetadata,
+    MetadataStore,
+    PinnedMetadata,
+    UNSET,
+)
 from ..simcluster.disk import BlockDevice
 
-__all__ = ["VisitedLevels", "InMemoryVisited", "ExternalVisited", "INFINITY"]
+__all__ = [
+    "VisitedLevels",
+    "InMemoryVisited",
+    "ExternalVisited",
+    "PinnedVisited",
+    "INFINITY",
+]
 
 #: "level[v] = infinity" sentinel.
 INFINITY = UNSET
@@ -88,3 +100,25 @@ class ExternalVisited(VisitedLevels):
 
     def flush(self) -> None:
         self.store.flush()
+
+
+class PinnedVisited(VisitedLevels):
+    """Visited levels in a resident dense array — semi-EM's layer 1.
+
+    Replaces :class:`ExternalVisited` when ``semi_external=True``: the
+    level array lives in RAM for the whole query (charged to the semi-EM
+    budget at ``4 * num_vertices`` bytes per in-flight query), so the
+    scale-free fringe's scattered level checks cost no device pages at
+    all.  Levels are identical to the external structure's — only the
+    medium differs.
+    """
+
+    def __init__(self, num_vertices: int):
+        super().__init__(PinnedMetadata(num_vertices))
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.store.resident_bytes
+
+    def flush(self) -> None:
+        """Nothing to page out — kept for ExternalVisited API parity."""

@@ -121,6 +121,12 @@ class Deployment:
     #: compression ablation (``bench_ablation_compression``) flips this on
     #: explicitly.
     compress_adjacency: bool = False
+    #: Semi-external-memory mode.  Defaults *off* here — the paper's
+    #: prototype kept no resident vertex state, and pinning changes which
+    #: adjacency blocks each device reads, so the chapter-5 figures stay
+    #: bit-identical; the semi-EM ablation (``bench_ablation_semiem``)
+    #: flips this on explicitly.
+    semi_external: bool = False
 
 
 @dataclass
@@ -184,6 +190,7 @@ def build_and_ingest(
             checksums=deployment.checksums,
             cache_policy=deployment.cache_policy,
             compress_adjacency=deployment.compress_adjacency,
+            semi_external=deployment.semi_external,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )

@@ -34,7 +34,7 @@ from .services import (
     VertexRoundRobin,
     WindowGreedy,
 )
-from .storage.blockcache import CACHE_POLICIES
+from .storage.blockcache import validate_cache_policy
 from .simcluster import FaultPlan, NodeSpec, SimCluster
 from .util.errors import ConfigError, DeviceFailedError
 from .util.varint import edge_block_bytes
@@ -164,6 +164,24 @@ class MSSGConfig:
     #: No-op for the other four backends.  The experiment harness turns it
     #: off to keep paper figures bit-identical.
     compress_adjacency: bool = True
+    #: Semi-external-memory mode (FlashGraph/GraphMP-style): keep all
+    #: per-vertex state resident in RAM and only the adjacency on device.
+    #: Three effects, none of which changes any answer: (1) each
+    #: back-end's vertex metadata (degrees, id map) is pinned into
+    #: resident arrays at ingest, so ``degree_many`` and fringe sizing
+    #: never touch a device; (2) out-of-core back-ends keep a resident
+    #: block->vertex-extent directory and fetch only the blocks holding
+    #: active fringe sources when the fringe covers a sparse fraction of
+    #: the store (full shared scans otherwise); (3) external visited
+    #: structures become resident dense arrays, and the shared block
+    #: cache grows a pinned segment that sweeps cannot evict.  The
+    #: experiment harness pins it off to keep paper figures bit-identical.
+    semi_external: bool = False
+    #: RAM budget for everything semi-EM pins (vertex state + block
+    #: directories across all back-ends, plus a 4-bytes-per-vertex
+    #: reserve for one resident visited array).  Deployment exceeding it
+    #: raises ``ConfigError`` at ingest rather than silently thrashing.
+    semi_external_budget_bytes: int = 64 << 20
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -180,13 +198,14 @@ class MSSGConfig:
                 f"replication must be in [1, num_backends={self.num_backends}], "
                 f"got {self.replication}"
             )
-        if self.cache_policy not in CACHE_POLICIES:
-            raise ConfigError(
-                f"unknown cache_policy {self.cache_policy!r}; "
-                f"choose from {CACHE_POLICIES}"
-            )
+        validate_cache_policy(self.cache_policy)
         if self.max_inflight < 1:
             raise ConfigError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.semi_external and self.semi_external_budget_bytes < 1:
+            raise ConfigError(
+                f"semi_external_budget_bytes must be >= 1, "
+                f"got {self.semi_external_budget_bytes}"
+            )
 
 
 def _adjacency_wire_size(entries, compress: bool) -> int:
@@ -244,6 +263,7 @@ class MSSG:
             checksums=cfg.checksums,
             max_inflight=cfg.max_inflight,
             shared_scans=cfg.shared_scans,
+            semi_external=cfg.semi_external,
         )
         self.last_ingest: IngestReport | None = None
 
@@ -278,6 +298,7 @@ class MSSG:
             checksums=cfg.checksums,
             cache_policy=cfg.cache_policy,
             compress_adjacency=cfg.compress_adjacency,
+            semi_external=cfg.semi_external,
         )
 
     # -- public operations ---------------------------------------------------
@@ -315,7 +336,36 @@ class MSSG:
         if edges.size:
             n = int(edges.max()) + 1
             self.queries.num_vertices = max(self.queries.num_vertices or 0, n)
+        if self.config.semi_external:
+            self._pin_semi_external()
         return self.last_ingest
+
+    def _pin_semi_external(self) -> None:
+        """Materialize each back-end's pinned vertex state (semi-EM layer 1).
+
+        Done eagerly after every ingest — the moment the degree census is
+        complete and free to snapshot — so queries start with everything
+        resident and the budget violation surfaces here, not mid-search.
+        Charges the sum of all back-ends' pinned bytes plus a
+        4-bytes-per-vertex reserve for one resident visited array against
+        ``MSSGConfig.semi_external_budget_bytes``.
+        """
+        resident = 0
+        for db in self.dbs:
+            try:
+                db.pin_vertex_state()
+            except DeviceFailedError:
+                continue  # dead back-end: queries fail over, nothing to pin
+            resident += db.pinned_resident_bytes()
+        visited_reserve = 4 * (self.queries.num_vertices or 0)
+        budget = self.config.semi_external_budget_bytes
+        if resident + visited_reserve > budget:
+            raise ConfigError(
+                f"semi-external pinned state needs {resident} bytes of vertex "
+                f"state plus a {visited_reserve}-byte visited reserve, over "
+                f"the semi_external_budget_bytes={budget} budget; raise the "
+                f"budget or turn semi_external off"
+            )
 
     def dead_backends(self) -> list[int]:
         """Back-end indices whose block device has failed (sticky)."""

@@ -81,7 +81,7 @@ class ArrayGraphDB(GraphDB):
             return np.empty(0, dtype=np.int64)
         return self._adj[self._xadj[vertex] : self._xadj[vertex + 1]]
 
-    def local_vertices(self) -> np.ndarray:
+    def _local_vertices(self) -> np.ndarray:
         if self._xadj is None:
             return np.array(sorted(self._staging), dtype=np.int64)
         return np.flatnonzero(np.diff(self._xadj)).astype(np.int64)

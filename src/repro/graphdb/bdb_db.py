@@ -183,7 +183,7 @@ class BerkeleyGraphDB(GraphDB):
         if chunks:
             yield cur, np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
-    def local_vertices(self) -> np.ndarray:
+    def _local_vertices(self) -> np.ndarray:
         seen = []
         last = None
         for key, _ in self.store.cursor():

@@ -45,7 +45,7 @@ class HashMapGraphDB(GraphDB):
         self.clock.advance(len(lst) * self.cpu.hashmap_edge_extra_seconds)
         return lst.view()
 
-    def local_vertices(self) -> np.ndarray:
+    def _local_vertices(self) -> np.ndarray:
         return np.array(sorted(self._adjacency), dtype=np.int64)
 
     @property

@@ -16,7 +16,13 @@ from ..simcluster.disk import BlockDevice
 from ..storage.blockcache import make_block_cache
 from ..storage.pagedfile import PagedFile
 
-__all__ = ["MetadataStore", "InMemoryMetadata", "ExternalMetadata", "UNSET"]
+__all__ = [
+    "MetadataStore",
+    "InMemoryMetadata",
+    "ExternalMetadata",
+    "PinnedMetadata",
+    "UNSET",
+]
 
 #: Default metadata value for vertices never written (plays the role of
 #: "level = infinity" in the BFS pseudocode; fits int32 storage).
@@ -76,6 +82,50 @@ class InMemoryMetadata(MetadataStore):
 
     def __len__(self) -> int:
         return len(self._values)
+
+
+class PinnedMetadata(MetadataStore):
+    """Dense resident int32 metadata over ``[0, num_vertices)`` (semi-EM).
+
+    The semi-external-memory replacement for :class:`ExternalMetadata`:
+    the same int32-per-vertex array, but materialized once as a resident
+    numpy array (charged to the semi-EM RAM budget) instead of paged to a
+    scratch device — so visited/level checks never touch the device during
+    a query.  Lookups and scatters are fully vectorized.
+    """
+
+    def __init__(self, num_vertices: int):
+        if num_vertices < 0:
+            raise ValueError("num_vertices cannot be negative")
+        self.num_vertices = int(num_vertices)
+        self._values = np.full(self.num_vertices, UNSET, dtype=np.int32)
+
+    @property
+    def resident_bytes(self) -> int:
+        return int(self._values.nbytes)
+
+    def get(self, vertex: int) -> int:
+        v = int(vertex)
+        if not 0 <= v < self.num_vertices:
+            return UNSET
+        return int(self._values[v])
+
+    def set(self, vertex: int, value: int) -> None:
+        self._values[int(vertex)] = int(value)
+
+    def get_many(self, vertices) -> np.ndarray:
+        vs = np.asarray(vertices, dtype=np.int64).ravel()
+        out = np.full(len(vs), UNSET, dtype=np.int64)
+        ok = (vs >= 0) & (vs < self.num_vertices)
+        out[ok] = self._values[vs[ok]]
+        return out
+
+    def set_many(self, vertices, value: int) -> None:
+        vs = np.asarray(vertices, dtype=np.int64).ravel()
+        self._values[vs] = int(value)
+
+    def clear(self) -> None:
+        self._values.fill(UNSET)
 
 
 class ExternalMetadata(MetadataStore):

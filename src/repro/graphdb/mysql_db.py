@@ -165,7 +165,7 @@ class MySQLGraphDB(GraphDB):
         if chunks:
             yield cur, np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
-    def local_vertices(self) -> np.ndarray:
+    def _local_vertices(self) -> np.ndarray:
         rows = self.db.execute("SELECT src FROM edges")
         return np.unique(np.array([r[0] for r in rows], dtype=np.int64)) if rows else np.empty(0, dtype=np.int64)
 

@@ -12,7 +12,7 @@ import dataclasses
 from typing import Any
 
 from ..simcluster.cluster import SimNode
-from ..storage.blockcache import CACHE_POLICIES, SharedBlockCache
+from ..storage.blockcache import SharedBlockCache, validate_cache_policy
 from ..storage.integrity import wrap_device
 from ..util.errors import ConfigError
 from .array_db import ArrayGraphDB
@@ -50,14 +50,20 @@ def shared_cache_for(
     """
     if cache_policy == "lru":
         return None
-    if cache_policy not in CACHE_POLICIES:
-        raise ConfigError(
-            f"cache_policy must be one of {CACHE_POLICIES}, got {cache_policy!r}"
-        )
+    validate_cache_policy(cache_policy)
     pool = getattr(node, "shared_block_cache", None)
-    if pool is None or pool.policy != cache_policy:
-        pool = SharedBlockCache(cache_blocks, policy=cache_policy)
-        node.shared_block_cache = pool
+    if pool is not None:
+        if pool.policy != cache_policy:
+            # Silently rebuilding the pool here would discard every resident
+            # block mid-process; two stores on one node disagreeing about
+            # the policy is a deployment bug, not something to paper over.
+            raise ConfigError(
+                f"node already has a {pool.policy!r} shared block cache; "
+                f"cannot attach a store requesting cache_policy={cache_policy!r}"
+            )
+        return pool
+    pool = SharedBlockCache(cache_blocks, policy=cache_policy)
+    node.shared_block_cache = pool
     return pool
 
 
@@ -72,6 +78,7 @@ def make_graphdb(
     checksums: bool = False,
     cache_policy: str = "lru",
     compress_adjacency: bool = False,
+    semi_external: bool = False,
     **extra: Any,
 ) -> GraphDB:
     """Instantiate ``backend`` on ``node``.
@@ -86,9 +93,17 @@ def make_graphdb(
     machinery (grDB's flush journal, StreamDB's durable commit records);
     ``compress_adjacency`` switches grDB sub-blocks and the StreamDB log to
     the delta+varint format (:mod:`repro.util.varint`) — a no-op for the
-    other four backends.
+    other four backends; ``semi_external`` arms the FlashGraph-style
+    semi-external-memory mode (pinned vertex state + selective adjacency
+    I/O on the out-of-core stores).
     """
-    common = dict(clock=node.clock, cpu=node.spec.cpu, batch_io=batch_io, **extra)
+    common = dict(
+        clock=node.clock,
+        cpu=node.spec.cpu,
+        batch_io=batch_io,
+        semi_external=semi_external,
+        **extra,
+    )
     if checksums:
         provider = lambda name: wrap_device(node.disk(name))  # noqa: E731
     else:

@@ -94,9 +94,22 @@ class StreamGraphDB(GraphDB):
         self._buffered = 0
         #: Raw log entries streamed past the CPU (>> useful edges returned).
         self.log_edges_scanned = 0
+        #: Semi-EM selective-I/O directory: one ``(offset, nbytes, nedges,
+        #: src_lo, src_hi)`` row per flushed log record, appended as the
+        #: record is written (free — the extent is known at flush time).
+        #: ``None`` after a restore: the directory cannot be rebuilt without
+        #: the very full scan it exists to avoid, so a restored store falls
+        #: back to whole-log scans until its next flush... which appends to
+        #: a log whose earlier extents are unknown, so it stays ``None``.
+        self._records: list[tuple[int, int, int, int, int]] | None = []
+        #: Selective scans served from the directory / records they skipped.
+        self.selective_scans = 0
+        self.records_skipped = 0
         self.restored = False
         if meta_device is not None:
             self.restored = self._restore()
+            if self.restored:
+                self._records = None
 
     # -- ingestion ------------------------------------------------------
 
@@ -111,13 +124,26 @@ class StreamGraphDB(GraphDB):
     def flush(self) -> None:
         if not self._buffer:
             return
+        batch = np.vstack(self._buffer)
         if self.compress:
-            batch = np.vstack(self._buffer)
             payload = encode_edge_block(batch)
             data = _CREC_HEADER.pack(_CREC_MAGIC, len(batch), len(payload)) + payload
         else:
-            data = np.ascontiguousarray(np.vstack(self._buffer)).tobytes()
+            data = np.ascontiguousarray(batch).tobytes()
         committed = self._committed_bytes()
+        if self._records is not None:
+            # Directory row for this record: byte extent plus the source-id
+            # range it covers.  Min/max over the batch is ingest-path work a
+            # deployment would fold into the same pass that serializes it.
+            self._records.append(
+                (
+                    committed,
+                    len(data),
+                    len(batch),
+                    int(batch[:, 0].min()),
+                    int(batch[:, 0].max()),
+                )
+            )
         guard_written = False
         if self.meta_device is not None and committed % _META_FRAME != 0:
             # The append below will rewrite the committed tail frame; a torn
@@ -364,8 +390,114 @@ class StreamGraphDB(GraphDB):
         self.clock.advance(payload_bytes * self.cpu.varint_decode_seconds)
         return np.vstack(parts) if parts else np.zeros((0, 2), dtype=np.int64)
 
+    # -- semi-EM selective I/O (GraphMP-style record scheduling) -----------
+
+    #: Above this fraction of directory records holding active sources, the
+    #: selective plan degenerates into the full sequential scan (same bytes,
+    #: worse access pattern) — fall back to the shared whole-log replay.
+    SELECTIVE_MAX_FRACTION = 0.5
+
+    def _record_mask(self, wanted: np.ndarray) -> np.ndarray | None:
+        """Which directory records hold at least one wanted source vertex."""
+        if self._records is None or not self._records:
+            return None
+        los = np.fromiter((r[3] for r in self._records), dtype=np.int64)
+        his = np.fromiter((r[4] for r in self._records), dtype=np.int64)
+        # A record matters iff some wanted id falls inside [lo, hi].
+        idx = np.searchsorted(wanted, los)
+        hit = idx < len(wanted)
+        mask = np.zeros(len(los), dtype=bool)
+        mask[hit] = wanted[np.minimum(idx[hit], len(wanted) - 1)] <= his[hit]
+        return mask
+
+    def _scan_selective(self, wanted: np.ndarray) -> "np.ndarray | None":
+        """Fetch only the log records whose source extent intersects ``wanted``.
+
+        Returns the concatenated edges of the selected records in log order
+        — a superset of the wanted adjacency that is *filter-equivalent* to
+        the full log (skipped records cannot contain wanted sources), so
+        every caller's mask produces bit-identical answers.  ``None`` means
+        the selective plan does not apply (no directory, a shared scan is
+        armed, or the frontier covers most records) and the caller should
+        use :meth:`_scan`.
+        """
+        if not self.semi_external or len(wanted) == 0:
+            return None
+        self.flush()
+        board = getattr(self, "scan_board", None)
+        if board is not None and board.armed("log-replay"):
+            # A whole-log pass is being shared across queries this round;
+            # piggybacking on it is cheaper than a private selective fetch.
+            return None
+        mask = self._record_mask(wanted)
+        if mask is None:
+            return None
+        picked = np.flatnonzero(mask)
+        if len(picked) > self.SELECTIVE_MAX_FRACTION * len(mask):
+            return None
+        self.selective_scans += 1
+        self.records_skipped += len(mask) - len(picked)
+        if len(picked) == 0:
+            return np.zeros((0, 2), dtype=np.int64)
+        # Coalesce adjacent selected records into single sequential reads.
+        runs: list[tuple[int, int]] = []
+        for i in picked:
+            off, nbytes = self._records[i][0], self._records[i][1]
+            if runs and runs[-1][0] + runs[-1][1] == off:
+                runs[-1] = (runs[-1][0], runs[-1][1] + nbytes)
+            else:
+                runs.append((off, nbytes))
+        buf = {off: self.device.read(off, nbytes) for off, nbytes in runs}
+        parts = []
+        payload_bytes = 0
+        run_iter = iter(runs)
+        run_off, run_data = None, b""
+        for i in picked:
+            off, nbytes, nedges = self._records[i][:3]
+            if run_off is None or off >= run_off + len(run_data):
+                run_off = next(run_iter)[0]
+                run_data = buf[run_off]
+            raw = run_data[off - run_off : off - run_off + nbytes]
+            if self.compress:
+                magic, hdr_edges, hdr_bytes = _CREC_HEADER.unpack_from(raw)
+                if magic != _CREC_MAGIC or hdr_edges != nedges:
+                    raise CorruptBlockError(
+                        self.device.name,
+                        off,
+                        nbytes,
+                        "directory/record mismatch in selective scan",
+                    )
+                block, _ = decode_edge_block(
+                    raw[_CREC_HEADER.size :], nedges, what="StreamDB log record"
+                )
+                payload_bytes += hdr_bytes
+                parts.append(block)
+            else:
+                parts.append(
+                    np.frombuffer(raw, dtype="<u8").reshape(-1, 2).astype(np.int64)
+                )
+        if payload_bytes:
+            self.clock.advance(payload_bytes * self.cpu.varint_decode_seconds)
+        return np.vstack(parts)
+
+    def frontier_block_coverage(self, vertices) -> float | None:
+        if not self.semi_external:
+            return None
+        self.flush()
+        wanted = np.unique(np.asarray(vertices, dtype=np.int64))
+        mask = self._record_mask(wanted)
+        if mask is None:
+            return None
+        return float(np.count_nonzero(mask)) / len(mask)
+
+    def _directory_bytes(self) -> int:
+        return 0 if self._records is None else len(self._records) * 5 * 8
+
     def _get_adjacency(self, vertex: int) -> np.ndarray:
-        edges = self._scan()
+        wanted = np.array([vertex], dtype=np.int64)
+        edges = self._scan_selective(wanted)
+        if edges is None:
+            edges = self._scan()
         self.clock.advance(len(edges) * self.cpu.edge_visit_seconds)
         self.log_edges_scanned += len(edges)
         return edges[edges[:, 0] == vertex, 1]
@@ -380,7 +512,9 @@ class StreamGraphDB(GraphDB):
         fringe = np.asarray(vertices, dtype=np.int64)
         if len(fringe) == 0:
             return
-        edges = self._scan()
+        edges = self._scan_selective(np.unique(fringe))
+        if edges is None:
+            edges = self._scan()
         self.clock.advance(len(edges) * self.cpu.edge_visit_seconds)
         self.log_edges_scanned += len(edges)
         self.stats.adjacency_requests += len(fringe)
@@ -402,11 +536,14 @@ class StreamGraphDB(GraphDB):
         if order != "storage":
             raise ValueError(f"unknown scan order {order!r}")
         wanted = None
+        edges = None
         if vertices is not None:
             wanted = np.unique(np.asarray(vertices, dtype=np.int64))
             if len(wanted) == 0:
                 return
-        edges = self._scan()
+            edges = self._scan_selective(wanted)
+        if edges is None:
+            edges = self._scan()
         self.clock.advance(len(edges) * self.cpu.edge_visit_seconds)
         self.log_edges_scanned += len(edges)
         if len(edges) == 0:
@@ -422,7 +559,7 @@ class StreamGraphDB(GraphDB):
         for group in np.split(np.arange(len(srcs)), boundaries):
             yield int(srcs[group[0]]), dsts[group]
 
-    def local_vertices(self) -> np.ndarray:
+    def _local_vertices(self) -> np.ndarray:
         edges = self._scan()
         self.clock.advance(len(edges) * self.cpu.edge_visit_seconds)
         self.log_edges_scanned += len(edges)

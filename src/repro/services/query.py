@@ -26,6 +26,7 @@ from ..bfs import (
     FaultTolerance,
     InMemoryVisited,
     NOT_FOUND,
+    PinnedVisited,
     oocbfs_program,
     pipelined_bfs_program,
 )
@@ -129,6 +130,7 @@ class QueryService:
         checksums: bool = False,
         max_inflight: int = 64,
         shared_scans: bool = True,
+        semi_external: bool = False,
     ):
         if cluster.nranks < num_frontends + len(dbs):
             raise ConfigError("cluster too small for the requested service layout")
@@ -161,6 +163,10 @@ class QueryService:
         #: Arm shared backend sweeps (one device pass fanned to all of a
         #: round's subscribers) during concurrent drains.
         self.shared_scans = shared_scans
+        #: Semi-external-memory mode: ``visited="external"`` queries keep
+        #: their level array resident (:class:`PinnedVisited`) instead of
+        #: paging it to a per-query scratch device.
+        self.semi_external = semi_external
         #: Queries accepted by :meth:`submit`, awaiting the next :meth:`drain`.
         self._submitted: list[QuerySpec] = []
         #: Vertex-id space size, recorded at ingest time; sizes the hybrid's
@@ -244,6 +250,11 @@ class QueryService:
         if kind == "memory":
             return InMemoryVisited()
         if kind == "external":
+            if self.semi_external and self.num_vertices:
+                # Semi-EM pins the per-query level array in RAM (charged to
+                # the budget at ingest time) — zero visited paging.  Levels
+                # are identical to the paged structure's.
+                return PinnedVisited(self.num_vertices)
             # A fresh scratch file per query: level marks must not leak
             # between searches.
             dev = ctx.node.disk(f"visited-{seq}")

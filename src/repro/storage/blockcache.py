@@ -46,9 +46,24 @@ __all__ = [
     "SharedBlockCache",
     "CachePartition",
     "make_block_cache",
+    "validate_cache_policy",
 ]
 
 CACHE_POLICIES = ("lru", "2q")
+
+
+def validate_cache_policy(policy: str) -> str:
+    """Validate a ``cache_policy`` knob value; returns it unchanged.
+
+    The single source of truth for the error — config surfaces
+    (``MSSGConfig``, ``shared_cache_for``) and the pool constructor all
+    call this instead of re-validating with their own wording.
+    """
+    if policy not in CACHE_POLICIES:
+        raise ConfigError(
+            f"unknown cache_policy {policy!r}; choose from {CACHE_POLICIES}"
+        )
+    return policy
 
 
 @dataclass
@@ -94,17 +109,30 @@ class LRUBlockCache:
         self.capacity = capacity_blocks
         self._writer = writer
         self._blocks: OrderedDict[Hashable, bytes] = OrderedDict()
+        self._pinned: dict[Hashable, bytes] = {}
         self._dirty: set[Hashable] = set()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        return len(self._blocks) + len(self._pinned)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._blocks
+        return key in self._blocks or key in self._pinned
+
+    @property
+    def pinned_blocks(self) -> int:
+        return len(self._pinned)
+
+    def _free_capacity(self) -> int:
+        """Capacity left for evictable blocks after the pinned share."""
+        return max(0, self.capacity - len(self._pinned))
 
     def get(self, key: Hashable) -> bytes | None:
         """Return the cached block and refresh its recency, or ``None``."""
+        data = self._pinned.get(key)
+        if data is not None:
+            self.stats.hits += 1
+            return data
         data = self._blocks.get(key)
         if data is None:
             self.stats.misses += 1
@@ -115,7 +143,13 @@ class LRUBlockCache:
 
     def put(self, key: Hashable, data: bytes, dirty: bool = False) -> None:
         """Insert/overwrite a block; evicts LRU blocks beyond capacity."""
-        if self.capacity == 0:
+        if key in self._pinned:
+            if dirty:
+                raise StorageEngineError(f"pinned block {key!r} cannot be dirtied")
+            self._pinned[key] = data
+            return
+        free = self._free_capacity()
+        if free == 0:
             if dirty:
                 self._write_back(key, data)
             return
@@ -129,16 +163,48 @@ class LRUBlockCache:
             # stale dirty mark: writing the old bit pattern back out would
             # clobber the block just read.
             self._dirty.discard(key)
-        while len(self._blocks) > self.capacity:
+        while len(self._blocks) > free:
             old_key, old_data = self._blocks.popitem(last=False)
             self.stats.evictions += 1
             if old_key in self._dirty:
                 self._dirty.discard(old_key)
                 self._write_back(old_key, old_data)
 
+    def pin(self, key: Hashable, data: bytes) -> None:
+        """Make ``key`` resident and exempt from eviction.
+
+        Pinned blocks are clean by definition (they mirror state the owner
+        can rebuild, never the sole copy of a write).  Pinning beyond the
+        cache's capacity is a configuration error, not an eviction.
+        """
+        if key not in self._pinned and len(self._pinned) + 1 > self.capacity:
+            raise StorageEngineError(
+                f"cannot pin {key!r}: {len(self._pinned)} blocks already "
+                f"pinned of capacity {self.capacity}"
+            )
+        if key in self._blocks:
+            del self._blocks[key]
+            self._dirty.discard(key)
+        self._pinned[key] = data
+        # The pinned share shrank the evictable region; trim overflow.
+        free = self._free_capacity()
+        while len(self._blocks) > free:
+            old_key, old_data = self._blocks.popitem(last=False)
+            self.stats.evictions += 1
+            if old_key in self._dirty:
+                self._dirty.discard(old_key)
+                self._write_back(old_key, old_data)
+
+    def unpin(self, key: Hashable) -> None:
+        """Demote a pinned block to an ordinary (evictable) resident."""
+        data = self._pinned.pop(key, None)
+        if data is not None:
+            self.put(key, data)
+
     def invalidate(self, key: Hashable) -> None:
         """Drop a block without writing it back (caller persisted it)."""
         self._blocks.pop(key, None)
+        self._pinned.pop(key, None)
         self._dirty.discard(key)
 
     def _write_back(self, key: Hashable, data: bytes) -> None:
@@ -165,6 +231,7 @@ class LRUBlockCache:
         """Flush then drop everything."""
         self.flush()
         self._blocks.clear()
+        self._pinned.clear()
         self._dirty.clear()
 
     def drop(self) -> None:
@@ -176,17 +243,19 @@ class LRUBlockCache:
         image.  Not an alternative to :meth:`clear` for shutdown.
         """
         self._blocks.clear()
+        self._pinned.clear()
         self._dirty.clear()
 
     def scan_budget(self) -> int:
         """Cache insertions one streaming pass may make without self-harm.
 
-        A private LRU has no one else to protect, so the whole capacity is
-        the budget (inserting more would only evict the pass's own earlier
-        blocks).  Shared partitions narrow this — see
+        A private LRU has no one else to protect, so everything outside the
+        pinned share is the budget (inserting more would only evict the
+        pass's own earlier blocks; pinned blocks are untouchable either
+        way).  Shared partitions narrow this — see
         :meth:`CachePartition.scan_budget`.
         """
-        return self.capacity
+        return self._free_capacity()
 
 
 class SharedBlockCache:
@@ -212,10 +281,7 @@ class SharedBlockCache:
     def __init__(self, capacity_blocks: int, policy: str = "lru"):
         if capacity_blocks < 0:
             raise StorageEngineError("cache capacity cannot be negative")
-        if policy not in CACHE_POLICIES:
-            raise ConfigError(
-                f"unknown cache policy {policy!r}; choose from {CACHE_POLICIES}"
-            )
+        validate_cache_policy(policy)
         self.capacity = capacity_blocks
         self.policy = policy
         self._protected_cap = (
@@ -225,9 +291,13 @@ class SharedBlockCache:
         )
         # "lru": all blocks live in _probation (single global LRU order);
         # "2q": _probation is the first-touch segment, _protected the
-        # re-referenced one.  Keys are (owner, key) pairs throughout.
+        # re-referenced one.  _pinned holds blocks exempt from eviction
+        # (the semi-EM resident directory and hot metadata pages); its
+        # share is subtracted from what probation/protected may use.
+        # Keys are (owner, key) pairs throughout.
         self._probation: OrderedDict[tuple, bytes] = OrderedDict()
         self._protected: OrderedDict[tuple, bytes] = OrderedDict()
+        self._pinned: dict[tuple, bytes] = {}
         self._dirty: set[tuple] = set()
         self._writers: dict[str, Callable[[Hashable, bytes], None] | None] = {}
         self._partitions: dict[str, "CachePartition"] = {}
@@ -235,7 +305,15 @@ class SharedBlockCache:
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._probation) + len(self._protected)
+        return len(self._probation) + len(self._protected) + len(self._pinned)
+
+    @property
+    def pinned_blocks(self) -> int:
+        return len(self._pinned)
+
+    def _free_capacity(self) -> int:
+        """Capacity left for the evictable segments after the pinned share."""
+        return max(0, self.capacity - len(self._pinned))
 
     def partition(self, owner: str, writer=None) -> "CachePartition":
         """Attach (or re-attach) owner ``owner``; returns its cache view.
@@ -255,7 +333,7 @@ class SharedBlockCache:
 
     def drop_owner(self, owner: str) -> None:
         """Discard every block of ``owner`` without write-back."""
-        for seg in (self._probation, self._protected):
+        for seg in (self._probation, self._protected, self._pinned):
             for k in [k for k in seg if k[0] == owner]:
                 del seg[k]
                 self._dirty.discard(k)
@@ -263,20 +341,31 @@ class SharedBlockCache:
     def scan_budget(self) -> int:
         """Insertions one streaming pass may make without collateral damage.
 
-        Under ``"2q"`` a pass's first-touch blocks can only displace other
+        The pinned segment is off-limits to everyone, so the budget is
+        computed over the *free* share (capacity minus pinned blocks) —
+        this is what keeps a whole-graph analytics sweep from evicting the
+        resident vertex state of semi-EM mode.  Within the free share:
+        under ``"2q"`` a pass's first-touch blocks can only displace other
         probation blocks, so the budget is the probation segment's size —
         capping batch inserts there keeps a giant scan from monopolizing
         even probation.  Under ``"lru"`` there is no protected segment and
-        the budget is the full capacity (the private-cache behavior).
+        the budget is the whole free share (the private-cache behavior).
+        A fully-pinned pool has budget 0: a scan may cache nothing.
         """
+        free = self._free_capacity()
         if self.policy == "2q":
-            return max(0, self.capacity - self._protected_cap) or min(1, self.capacity)
-        return self.capacity
+            return max(0, free - self._protected_cap) or min(1, free)
+        return free
 
     # -- core operations (called through CachePartition) --------------------
 
     def _get(self, part: "CachePartition", key: Hashable) -> bytes | None:
         k = (part.owner, key)
+        data = self._pinned.get(k)
+        if data is not None:
+            part.stats.hits += 1
+            self.stats.hits += 1
+            return data
         data = self._probation.get(k)
         if data is not None:
             if self.policy == "2q":
@@ -303,7 +392,15 @@ class SharedBlockCache:
 
     def _put(self, part: "CachePartition", key: Hashable, data: bytes, dirty: bool) -> None:
         k = (part.owner, key)
-        if self.capacity == 0:
+        if k in self._pinned:
+            if dirty:
+                raise StorageEngineError(
+                    f"pinned block {key!r} of owner {part.owner!r} cannot be dirtied"
+                )
+            self._pinned[k] = data
+            return
+        free = self._free_capacity()
+        if free == 0:
             if dirty:
                 self._write_back(k, data)
             return
@@ -320,7 +417,11 @@ class SharedBlockCache:
             # A clean overwrite (fresh read from the device) supersedes any
             # stale dirty mark, exactly as in the private LRU.
             self._dirty.discard(k)
-        while len(self) > self.capacity:
+        self._evict_to(free)
+
+    def _evict_to(self, free: int) -> None:
+        """Shrink the evictable segments to ``free`` blocks (probation first)."""
+        while len(self._probation) + len(self._protected) > free:
             if self._probation:
                 old_k, old_data = self._probation.popitem(last=False)
             else:
@@ -332,6 +433,28 @@ class SharedBlockCache:
             if old_k in self._dirty:
                 self._dirty.discard(old_k)
                 self._write_back(old_k, old_data)
+
+    def _pin(self, part: "CachePartition", key: Hashable, data: bytes) -> None:
+        k = (part.owner, key)
+        if k not in self._pinned and len(self._pinned) + 1 > self.capacity:
+            raise StorageEngineError(
+                f"cannot pin {key!r} for owner {part.owner!r}: "
+                f"{len(self._pinned)} blocks already pinned of capacity "
+                f"{self.capacity}"
+            )
+        for seg in (self._probation, self._protected):
+            if k in seg:
+                del seg[k]
+                self._dirty.discard(k)
+        self._pinned[k] = data
+        # The pinned share shrank the evictable region; trim overflow.
+        self._evict_to(self._free_capacity())
+
+    def _unpin(self, part: "CachePartition", key: Hashable) -> None:
+        k = (part.owner, key)
+        data = self._pinned.pop(k, None)
+        if data is not None:
+            self._put(part, key, data, dirty=False)
 
     def _write_back(self, k: tuple, data: bytes) -> None:
         writer = self._writers.get(k[0])
@@ -347,15 +470,22 @@ class SharedBlockCache:
 
     def _contains(self, owner: str, key: Hashable) -> bool:
         k = (owner, key)
-        return k in self._probation or k in self._protected
+        return k in self._probation or k in self._protected or k in self._pinned
 
     def _owned_keys(self, owner: str) -> list[tuple]:
-        """Owner's blocks in recency order (probation first, then protected)."""
-        return [k for seg in (self._probation, self._protected) for k in seg if k[0] == owner]
+        """Owner's blocks in recency order (probation, protected, pinned)."""
+        return [
+            k
+            for seg in (self._probation, self._protected, self._pinned)
+            for k in seg
+            if k[0] == owner
+        ]
 
     def _data_of(self, k: tuple) -> bytes:
-        seg = self._probation if k in self._probation else self._protected
-        return seg[k]
+        for seg in (self._probation, self._protected, self._pinned):
+            if k in seg:
+                return seg[k]
+        raise KeyError(k)
 
 
 class CachePartition:
@@ -391,10 +521,19 @@ class CachePartition:
     def put(self, key: Hashable, data: bytes, dirty: bool = False) -> None:
         self.shared._put(self, key, data, dirty)
 
+    def pin(self, key: Hashable, data: bytes) -> None:
+        """Make ``key`` resident in the pool, exempt from eviction."""
+        self.shared._pin(self, key, data)
+
+    def unpin(self, key: Hashable) -> None:
+        """Demote a pinned block to ordinary (evictable) residency."""
+        self.shared._unpin(self, key)
+
     def invalidate(self, key: Hashable) -> None:
         k = (self.owner, key)
         self.shared._probation.pop(k, None)
         self.shared._protected.pop(k, None)
+        self.shared._pinned.pop(k, None)
         self.shared._dirty.discard(k)
 
     def dirty_items(self) -> list[tuple[Hashable, bytes]]:
@@ -416,7 +555,10 @@ class CachePartition:
         self.flush()
         sh = self.shared
         for k in sh._owned_keys(self.owner):
-            del (sh._probation if k in sh._probation else sh._protected)[k]
+            for seg in (sh._probation, sh._protected, sh._pinned):
+                if k in seg:
+                    del seg[k]
+                    break
 
     def drop(self) -> None:
         self.shared.drop_owner(self.owner)
