@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-ingest-faults test-direction test-integrity test-concurrent test-vertexprog test-compression test-semiem check-cache-factory lint bench bench-quick bench-smoke examples figures clean
+.PHONY: install test test-faults test-ingest-faults test-direction test-integrity test-concurrent test-vertexprog test-compression test-semiem test-streaming check-cache-factory lint bench bench-quick bench-smoke examples figures clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -38,6 +38,9 @@ test-compression:  # delta+varint compressed adjacency suite, warnings promoted 
 test-semiem:  # semi-external-memory mode suite, warnings promoted to errors
 	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_semiem.py
 
+test-streaming:  # streaming ingest / delta log / snapshot consistency suite
+	PYTHONPATH=src $(PYTHON) -m pytest -q -W error tests/test_streaming.py
+
 check-cache-factory:  # block caches must come from make_block_cache, never direct construction
 	@offenders=$$(grep -rln 'LRUBlockCache(' src/repro --include='*.py' \
 		| grep -v 'storage/blockcache.py' || true); \
@@ -60,7 +63,7 @@ bench-smoke:  # the batched-I/O + direction ablations, CI-sized (ratio bands nee
 		benchmarks/bench_ablation_batchio.py benchmarks/bench_ablation_direction.py \
 		benchmarks/bench_ingest_failover.py benchmarks/bench_concurrent_queries.py \
 		benchmarks/bench_vertexprog.py benchmarks/bench_ablation_compression.py \
-		benchmarks/bench_ablation_semiem.py \
+		benchmarks/bench_ablation_semiem.py benchmarks/bench_streaming_ingest.py \
 		--benchmark-only
 
 lint:  # requires ruff (pip install ruff)

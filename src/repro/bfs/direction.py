@@ -190,13 +190,35 @@ def _adjacency_source(db, candidates):
     coverage = db.frontier_block_coverage(candidates)
     if coverage is not None and coverage < SELECTIVE_COVERAGE_MAX:
         return db.scan_adjacency(candidates, order="storage")
+    # The store-size token invalidates the shared map across ingests.  The
+    # map holds the BASE store only, so in streaming drains queries pinned
+    # to different admission snapshots still share the one device pass;
+    # each consumer merges its own overlay view on top from RAM below,
+    # base-first per vertex — the same arrays the unshared plan yields.
     token = db.stats.edges_stored
     adj = board.lookup("bottom-up", token)
     if adj is None:
-        adj = {v: neighbors for v, neighbors in db.scan_adjacency(None, order="storage")}
+        adj = {v: neighbors for v, neighbors in db._scan_adjacency(None, order="storage")}
         board.publish("bottom-up", token, adj)
     wanted = np.unique(np.asarray(candidates, dtype=np.int64))
-    return ((int(v), adj[int(v)]) for v in wanted if int(v) in adj)
+    view = db._overlay_view()
+    if view is None:
+        return ((int(v), adj[int(v)]) for v in wanted if int(v) in adj)
+
+    def merged():
+        for w in wanted:
+            v = int(w)
+            base = adj.get(v)
+            extra = view.adjacency(v)
+            if base is None:
+                if len(extra):
+                    yield v, extra
+            elif len(extra):
+                yield v, np.concatenate([base, extra])
+            else:
+                yield v, base
+
+    return merged()
 
 
 def _scan_claims(ctx, db, bm: Bitset, candidates, dest: int, ft: FTState | None):

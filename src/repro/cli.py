@@ -196,6 +196,13 @@ def _cmd_search(args) -> int:
     if corrupt is not None and not 0 <= corrupt < args.backends:
         print(f"--corrupt-backend must name a back-end in [0, {args.backends})")
         return 2
+    nbatches = args.stream_batches
+    if nbatches is not None and nbatches < 1:
+        print("--stream-batches must be >= 1")
+        return 2
+    if args.compact and nbatches is None:
+        print("--compact needs --stream-batches (nothing to fold otherwise)")
+        return 2
     config = MSSGConfig(
         num_backends=args.backends,
         num_frontends=args.frontends,
@@ -205,6 +212,7 @@ def _cmd_search(args) -> int:
         direction_opt=not args.no_direction_opt,
         compress_adjacency=not args.no_compress_adjacency,
         semi_external=args.semi_external,
+        streaming=nbatches is not None,
         # An ingest-time kill must be armed before ingestion runs (virtual
         # clocks restart at 0 for every cluster run).
         fault_plan=(
@@ -214,16 +222,42 @@ def _cmd_search(args) -> int:
         ),
     )
     with MSSG(config) as mssg:
-        report = mssg.ingest(edges)
-        print(
-            f"ingested {report.edges_ingested:,} edges in {report.seconds:.4f} "
-            f"virtual s ({report.edges_per_second:,.0f} edges/s"
-            + (f", {report.replication} replicas)" if report.replication > 1 else ")")
-        )
+        if nbatches is not None:
+            for batch in np.array_split(edges, nbatches):
+                report = mssg.ingest_stream(batch)
+            print(
+                f"streamed {report.edges_ingested:,} edges in "
+                f"{report.batches} batches, {report.seconds:.4f} virtual s "
+                f"({report.edges_per_second:,.0f} edges/s"
+                + (
+                    f", {report.replication} replicas)"
+                    if report.replication > 1
+                    else ")"
+                )
+            )
+        else:
+            report = mssg.ingest(edges)
+            print(
+                f"ingested {report.edges_ingested:,} edges in {report.seconds:.4f} "
+                f"virtual s ({report.edges_per_second:,.0f} edges/s"
+                + (f", {report.replication} replicas)" if report.replication > 1 else ")")
+            )
         if report.degraded:
             print(
                 f"   ! DEGRADED: back-end(s) {list(report.failed_backends)} died "
                 f"mid-ingest, {report.lost_entries:,} entries lost"
+            )
+        if args.compact:
+            cr = mssg.compact()
+            print(
+                f"compacted {cr.batches_folded} delta-log batch folds "
+                f"({cr.entries_folded:,} entries) into base stores in "
+                f"{cr.seconds:.4f} s"
+                + (
+                    f"   ! back-end(s) {list(cr.failed_backends)} died mid-fold"
+                    if cr.failed_backends
+                    else ""
+                )
             )
         plan = FaultPlan([])
         if kill is not None and not args.kill_during_ingest:
@@ -425,6 +459,21 @@ def build_parser() -> argparse.ArgumentParser:
         "id maps, visited levels) in RAM and fetch only the adjacency "
         "blocks holding active fringe sources; answers are identical, "
         "device reads drop on sparse fringes",
+    )
+    q.add_argument(
+        "--stream-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ingest incrementally: split the edge file into N batches and "
+        "stream each through the crash-safe delta logs (streaming mode); "
+        "queries run against the published snapshot",
+    )
+    q.add_argument(
+        "--compact",
+        action="store_true",
+        help="with --stream-batches: fold the streamed deltas into the base "
+        "stores (two-phase, crash-safe) before querying",
     )
     q.add_argument(
         "--rebalance",

@@ -127,6 +127,12 @@ class Deployment:
     #: bit-identical; the semi-EM ablation (``bench_ablation_semiem``)
     #: flips this on explicitly.
     semi_external: bool = False
+    #: Streaming ingest.  Defaults *off* here — the paper's prototype
+    #: loaded each graph in one batch, and delta-log appends would add
+    #: device operations (and a deltalog device) every figure's timeline
+    #: would absorb, so the chapter-5 figures stay bit-identical; the
+    #: streaming benchmark (``bench_streaming_ingest``) opts in explicitly.
+    streaming: bool = False
 
 
 @dataclass
@@ -191,6 +197,7 @@ def build_and_ingest(
             cache_policy=deployment.cache_policy,
             compress_adjacency=deployment.compress_adjacency,
             semi_external=deployment.semi_external,
+            streaming=deployment.streaming,
             node_spec=EXPERIMENT_NODE_SPEC,
         )
     )

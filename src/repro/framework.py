@@ -34,6 +34,7 @@ from .services import (
     VertexRoundRobin,
     WindowGreedy,
 )
+from .services.streaming import CompactReport, StreamingState
 from .storage.blockcache import validate_cache_policy
 from .simcluster import FaultPlan, NodeSpec, SimCluster
 from .util.errors import ConfigError, DeviceFailedError
@@ -182,6 +183,16 @@ class MSSGConfig:
     #: reserve for one resident visited array).  Deployment exceeding it
     #: raises ``ConfigError`` at ingest rather than silently thrashing.
     semi_external_budget_bytes: int = 64 << 20
+    #: Streaming ingest (DESIGN §12): every back-end carries a crash-safe
+    #: delta log, :meth:`MSSG.ingest_stream` appends edge batches to it
+    #: incrementally (durable + published on return, folded into the base
+    #: stores by :meth:`MSSG.compact`), and queries run against the
+    #: snapshot published at their admission — an in-flight query never
+    #: observes a half-applied batch, and a crash at any point recovers to
+    #: the last published snapshot.  ``query_many(stream_batches=...)``
+    #: interleaves ingest *with* a drain.  The experiment harness pins
+    #: this off to keep paper figures bit-identical.
+    streaming: bool = False
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -266,6 +277,11 @@ class MSSG:
             semi_external=cfg.semi_external,
         )
         self.last_ingest: IngestReport | None = None
+        #: Streaming machinery (delta logs + overlays).  Constructing it
+        #: doubles as crash recovery: reopening a streaming deployment over
+        #: the same ``storage_dir`` replays the delta logs, settles any
+        #: interrupted compaction, and restores the last published snapshot.
+        self.streaming = StreamingState(self) if cfg.streaming else None
 
     def _make_db(self, q: int) -> GraphDB:
         """Build back-end ``q``'s GraphDB instance on its node.
@@ -306,11 +322,17 @@ class MSSG:
     def set_fault_plan(self, plan: FaultPlan | None) -> None:
         """Install (or clear, with ``None``) a disk fault plan on the cluster.
 
-        Virtual clocks restart at 0 for every ``cluster.run``, so a plan
-        installed *here*, between ingestion and a query, fires at virtual
-        times measured within the query — the way to model "a disk dies
-        mid-search" without also failing the ingestion.  Enables the
-        query-side failover protocol as a side effect.
+        A plan may be armed at any point of the deployment's life — before
+        ingestion, between ingestion and queries, or between streamed
+        batches.  The only semantics to understand is the clock: virtual
+        clocks restart at 0 for every ``cluster.run``, so a time-triggered
+        fault fires at virtual times measured within whichever run comes
+        *next* (an ``after_ops`` trigger counts that device's operations
+        from installation instead and is run-agnostic).  Installing a plan
+        between ingestion and a query is therefore the way to model "a
+        disk dies mid-search" without also failing the ingestion — not a
+        restriction on when plans are allowed.  Enables the query-side
+        failover protocol as a side effect.
         """
         self.cluster.install_fault_plan(plan)
         if plan is not None:
@@ -339,6 +361,61 @@ class MSSG:
         if self.config.semi_external:
             self._pin_semi_external()
         return self.last_ingest
+
+    def ingest_stream(self, edges: np.ndarray) -> IngestReport:
+        """Append one edge batch incrementally (streaming deployments).
+
+        The batch runs through the same ingestion pipeline as
+        :meth:`ingest` (same declustering, same windows, same fault
+        accounting) but lands on each back-end's crash-safe delta log
+        instead of its base files: when this returns, the batch is durable
+        and *published* — visible to every subsequently admitted query —
+        while the base stores are untouched until :meth:`compact` folds the
+        deltas in.  A crash anywhere in between recovers to the last
+        published snapshot.  Returns the deployment's accumulated
+        :class:`IngestReport` (``batches`` counts the streamed batches).
+        """
+        if self.streaming is None:
+            raise ConfigError(
+                "ingest_stream requires MSSGConfig(streaming=True); "
+                "use ingest() for one-shot batch loads"
+            )
+        report = self.streaming.ingest_batch(edges)
+        failed = getattr(report, "failed_backends", ())
+        if failed:
+            self.queries.known_dead |= set(failed)
+            self.queries.fault_tolerant = True
+        edges = np.asarray(edges)
+        if edges.size:
+            n = int(edges.max()) + 1
+            self.queries.num_vertices = max(self.queries.num_vertices or 0, n)
+        if self.last_ingest is None:
+            self.last_ingest = report
+        else:
+            self.last_ingest.absorb(report)
+        return self.last_ingest
+
+    def compact(self) -> CompactReport:
+        """Fold published stream deltas into the base stores.
+
+        Each back-end folds under the delta log's two-phase intent
+        protocol: a crash mid-fold either keeps the deltas or adopts the
+        fold, never both and never neither (on the token-bearing backends
+        — grDB and StreamDB with checksums; the others conservatively
+        replay, see :mod:`repro.storage.deltalog`).  Queries before and
+        after a compaction read identical adjacency.
+        """
+        if self.streaming is None:
+            raise ConfigError("compact requires MSSGConfig(streaming=True)")
+        report = self.streaming.compact()
+        if report.failed_backends:
+            self.queries.known_dead |= set(report.failed_backends)
+            self.queries.fault_tolerant = True
+        # The folded edges are base data now; re-pin the (base-only) vertex
+        # census so pinned degrees + (emptied) overlay still sum correctly.
+        if self.config.semi_external and report.entries_folded:
+            self._pin_semi_external()
+        return report
 
     def _pin_semi_external(self) -> None:
         """Materialize each back-end's pinned vertex state (semi-EM layer 1).
@@ -767,6 +844,8 @@ class MSSG:
         visited: str = "memory",
         max_levels: int = 64,
         analytics=None,
+        stream_batches=None,
+        stream_every: int = 1,
         **kw,
     ) -> DrainReport:
         """Serve many relationship queries concurrently in one cluster run.
@@ -787,8 +866,31 @@ class MSSG:
         checksum layer flagged corrupt frames on any back-end during the
         drain, the damaged back-ends are read-repaired once afterwards
         (``report.repairs``).
+
+        ``stream_batches`` (streaming deployments) interleaves ingest with
+        the drain: each batch is appended to the delta logs at every
+        ``stream_every``-th scheduling round, and every query answers
+        against the snapshot published at its own admission
+        (``QueryReport.snapshot_seq``) — bit-identical to querying a store
+        that stopped ingesting at that snapshot.
         """
         pairs = list(pairs)
+        feed = None
+        if stream_batches is not None:
+            if self.streaming is None:
+                raise ConfigError(
+                    "stream_batches requires MSSGConfig(streaming=True)"
+                )
+            feed = self.streaming.make_feed(stream_batches, every=stream_every)
+            # Grow the id space *before* the drain: direction-opt bitmaps
+            # and pinned visited arrays are sized from it at admission, and
+            # mid-drain batches may introduce new vertex ids.
+            hi = max(
+                (int(np.asarray(b).max()) for b in stream_batches if np.asarray(b).size),
+                default=-1,
+            )
+            if hi >= 0:
+                self.queries.num_vertices = max(self.queries.num_vertices or 0, hi + 1)
         if tenants is not None and len(tenants) != len(pairs):
             raise ConfigError(
                 f"tenants has {len(tenants)} entries for {len(pairs)} queries"
@@ -809,12 +911,41 @@ class MSSG:
                 analysis=analysis, params=params, deadline=deadline
             )
         report = self.queries.drain(
-            max_inflight=max_inflight, shared_scans=shared_scans
+            max_inflight=max_inflight, shared_scans=shared_scans, stream_feed=feed
         )
+        if feed is not None:
+            self._absorb_feed(feed)
         corrupt = sorted({q for rep in report.queries for q in rep.corrupt_backends})
         if corrupt and self.config.checksums:
             report.repairs = self.repair_backends(corrupt)
         return report
+
+    def _absorb_feed(self, feed) -> None:
+        """Fold an in-drain feed's applied batches into the façade state
+        (accumulated ingest report, death records) — the same bookkeeping
+        :meth:`ingest_stream` does per batch."""
+        applied = feed.batches_applied
+        if applied:
+            inc = IngestReport(
+                # Ingest time is inside the drain's makespan, already
+                # reported there; double-charging it here would be wrong.
+                seconds=0.0,
+                edges_ingested=sum(feed.batch_sizes[:applied]),
+                entries_stored=sum(feed.applied_entries),
+                windows=applied,
+                per_backend_entries=list(feed.applied_entries),
+                replication=feed.replication,
+                degraded=bool(feed.failed),
+                failed_backends=tuple(sorted(feed.failed)),
+                batches=applied,
+            )
+            if self.last_ingest is None:
+                self.last_ingest = inc
+            else:
+                self.last_ingest.absorb(inc)
+        if feed.failed:
+            self.queries.known_dead |= set(feed.failed)
+            self.queries.fault_tolerant = True
 
     def query(self, analysis: str, **params) -> QueryReport:
         return self.queries.query(analysis, **params)

@@ -109,7 +109,7 @@ class BerkeleyGraphDB(GraphDB):
     #: leaf chain amortizes the root-to-leaf descents across the fringe.
     BATCH_SCAN_MIN = 32
 
-    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
+    def _expand_fringe(self, vertices, adjlist: LongArray) -> None:
         """Batch adjacency lookups in sorted key order through the B-tree.
 
         The fringe's ``(vertex, chunk)`` keys are visited in ascending
@@ -122,7 +122,7 @@ class BerkeleyGraphDB(GraphDB):
         """
         fringe = np.asarray(vertices, dtype=np.int64)
         if not self.batch_io or len(fringe) == 0:
-            super().expand_fringe(fringe, adjlist)
+            super()._expand_fringe(fringe, adjlist)
             return
         wanted = np.unique(fringe)
         found: dict[int, list[np.ndarray]] = {}
@@ -149,7 +149,7 @@ class BerkeleyGraphDB(GraphDB):
             self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
             adjlist.extend(neighbors)
 
-    def scan_adjacency(self, vertices=None, order: str = "storage"):
+    def _scan_adjacency(self, vertices=None, order: str = "storage"):
         """Walk the B-tree leaf chain once, yielding wanted vertices.
 
         One range cursor between the smallest and largest wanted key visits

@@ -329,7 +329,7 @@ class GrDB(GraphDB):
 
     # -- batched fringe expansion (vectored I/O all the way down) ---------------------
 
-    def expand_fringe(self, vertices, adjlist) -> None:
+    def _expand_fringe(self, vertices, adjlist) -> None:
         """Expand a whole fringe through the coalescing batch planner.
 
         Instead of walking each vertex's chain independently (one sub-block
@@ -346,7 +346,7 @@ class GrDB(GraphDB):
         fringe order.
         """
         if not self.batch_io:
-            super().expand_fringe(vertices, adjlist)
+            super()._expand_fringe(vertices, adjlist)
             return
         fringe = np.asarray(vertices, dtype=np.int64)
         self.stats.adjacency_requests += len(fringe)
@@ -392,7 +392,7 @@ class GrDB(GraphDB):
 
     # -- storage-order scan (bottom-up BFS access plan) -------------------------------
 
-    def scan_adjacency(self, vertices=None, order: str = "storage"):
+    def _scan_adjacency(self, vertices=None, order: str = "storage"):
         """Yield wanted vertices' lists by walking level files in block order.
 
         The bottom-up plan: wanted vertices are sorted by level-0 sub-block
@@ -406,7 +406,7 @@ class GrDB(GraphDB):
         if order != "storage":
             raise ValueError(f"unknown scan order {order!r}")
         if vertices is None:
-            gids = self.local_vertices()
+            gids = self._base_local_vertices()
         else:
             gids = np.unique(np.asarray(vertices, dtype=np.int64))
         if len(gids) == 0:

@@ -130,6 +130,15 @@ class GraphDB(abc.ABC):
         #: out-of-core and the chapter-5 figures stay bit-identical.
         self.semi_external = semi_external
         self._pinned_state: PinnedVertexState | None = None
+        #: Streaming-mode delta overlay (``services.streaming.DeltaOverlay``):
+        #: committed-but-uncompacted stream batches, merged into every public
+        #: read.  ``None`` outside streaming deployments — the read path then
+        #: short-circuits with one attribute check.
+        self._stream_overlay = None
+        #: Snapshot id pinned around a query slice by the multiplexer
+        #: (``None`` = read at the published horizon).  Gates which overlay
+        #: batches the reads above may see.
+        self._stream_snap: int | None = None
 
     # -- paper interface ----------------------------------------------------
 
@@ -182,22 +191,62 @@ class GraphDB(abc.ABC):
 
     # -- convenience / batch ---------------------------------------------------
 
-    def get_adjacency(self, vertex: int) -> np.ndarray:
-        """All locally stored neighbors of ``vertex`` (empty if not local)."""
+    def _overlay_view(self):
+        """The stream-overlay read view at the pinned snapshot (or None)."""
+        overlay = self._stream_overlay
+        if overlay is None:
+            return None
+        return overlay.view(self._stream_snap)
+
+    def _base_adjacency(self, vertex: int) -> np.ndarray:
+        """``get_adjacency`` over the base store only (no stream overlay)."""
         neighbors = self._get_adjacency(int(vertex))
         self.stats.adjacency_requests += 1
         self.stats.edges_scanned += len(neighbors)
         self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
         return neighbors
 
-    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
-        """Append the neighbors of every fringe vertex to ``adjlist``.
+    def get_adjacency(self, vertex: int) -> np.ndarray:
+        """All locally stored neighbors of ``vertex`` (empty if not local)."""
+        neighbors = self._base_adjacency(vertex)
+        view = self._overlay_view()
+        if view is None:
+            return neighbors
+        extra = view.adjacency(int(vertex))
+        if not len(extra):
+            return neighbors
+        self.stats.edges_scanned += len(extra)
+        self.clock.advance(len(extra) * self.cpu.edge_visit_seconds)
+        return np.concatenate([neighbors, extra]) if len(neighbors) else extra
+
+    def _expand_fringe(self, vertices, adjlist: LongArray) -> None:
+        """Base-store fringe expansion (overridden per backend).
 
         Default: one adjacency request per vertex.  StreamDB overrides this
         with a single-pass scan over its edge log.
         """
         for v in np.asarray(vertices, dtype=np.int64):
-            adjlist.extend(self.get_adjacency(int(v)))
+            adjlist.extend(self._base_adjacency(int(v)))
+
+    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
+        """Append the neighbors of every fringe vertex to ``adjlist``.
+
+        The base store answers through the backend's own plan
+        (:meth:`_expand_fringe`); any visible stream-overlay batches append
+        their entries on top from RAM.  BFS levels are unaffected by the
+        ordering (level sets are order-independent).
+        """
+        view = self._overlay_view()
+        if view is None:
+            self._expand_fringe(vertices, adjlist)
+            return
+        vs = np.asarray(vertices, dtype=np.int64)
+        self._expand_fringe(vs, adjlist)
+        extra = view.fringe(vs)
+        if len(extra):
+            self.stats.edges_scanned += len(extra)
+            self.clock.advance(len(extra) * self.cpu.edge_visit_seconds)
+            adjlist.extend(extra)
 
     def prefetch_fringe(self, vertices) -> int:
         """Warm storage for a coming fringe expansion; returns blocks fetched.
@@ -219,17 +268,35 @@ class GraphDB(abc.ABC):
         vs = np.asarray(vertices, dtype=np.int64)
         ps = self._pinned()
         if ps is not None:
-            idx = np.searchsorted(ps.vertices, vs)
-            idx = np.clip(idx, 0, len(ps.vertices) - 1) if len(ps.vertices) else idx
             if len(ps.vertices) == 0:
-                return np.zeros(len(vs), dtype=np.int64)
-            hit = ps.vertices[idx] == vs
-            out = np.zeros(len(vs), dtype=np.int64)
-            out[hit] = ps.degrees[idx[hit]]
-            return out
-        return np.fromiter(
-            (self._degree.get(int(v), 0) for v in vs), dtype=np.int64, count=len(vs)
-        )
+                out = np.zeros(len(vs), dtype=np.int64)
+            else:
+                idx = np.searchsorted(ps.vertices, vs)
+                idx = np.clip(idx, 0, len(ps.vertices) - 1)
+                hit = ps.vertices[idx] == vs
+                out = np.zeros(len(vs), dtype=np.int64)
+                out[hit] = ps.degrees[idx[hit]]
+        else:
+            out = np.fromiter(
+                (self._degree.get(int(v), 0) for v in vs), dtype=np.int64, count=len(vs)
+            )
+        view = self._overlay_view()
+        if view is not None:
+            out = out + view.degrees(vs)
+        return out
+
+    def _scan_adjacency(self, vertices=None, order: str = "storage"):
+        """Base-store storage-order scan (overridden per backend)."""
+        if order != "storage":
+            raise ValueError(f"unknown scan order {order!r}")
+        if vertices is None:
+            vs = self._base_local_vertices()
+        else:
+            vs = np.unique(np.asarray(vertices, dtype=np.int64))
+        for v in vs:
+            neighbors = self._get_adjacency(int(v))
+            if len(neighbors):
+                yield int(v), neighbors
 
     def scan_adjacency(self, vertices=None, order: str = "storage"):
         """Yield ``(vertex, neighbors)`` pairs in the backend's storage order.
@@ -247,17 +314,44 @@ class GraphDB(abc.ABC):
         because bottom-up claims stop at the first fringe parent and only
         examined entries cost CPU (early-exit accounting).  For the same
         reason ``stats.edges_scanned`` is the caller's responsibility.
+
+        Visible stream-overlay batches merge in: a vertex's overlay entries
+        append to its base list, and overlay-only vertices follow the base
+        sweep.  Bottom-up claims depend only on membership, not order, so
+        answers match a store holding the same edges natively.
         """
-        if order != "storage":
-            raise ValueError(f"unknown scan order {order!r}")
-        if vertices is None:
-            vs = self.local_vertices()
-        else:
-            vs = np.unique(np.asarray(vertices, dtype=np.int64))
-        for v in vs:
-            neighbors = self._get_adjacency(int(v))
-            if len(neighbors):
-                yield int(v), neighbors
+        view = self._overlay_view()
+        if view is None:
+            yield from self._scan_adjacency(vertices, order=order)
+            return
+        wanted = (
+            None
+            if vertices is None
+            else np.unique(np.asarray(vertices, dtype=np.int64))
+        )
+        seen: set[int] = set()
+        for v, neighbors in self._scan_adjacency(wanted, order=order):
+            seen.add(int(v))
+            extra = view.adjacency(int(v))
+            if len(extra):
+                neighbors = np.concatenate([neighbors, extra])
+            yield int(v), neighbors
+        overlay_vs = view.vertices()
+        if wanted is not None and len(overlay_vs):
+            overlay_vs = overlay_vs[np.isin(overlay_vs, wanted)]
+        for v in overlay_vs:
+            if int(v) in seen:
+                continue
+            extra = view.adjacency(int(v))
+            if len(extra):
+                yield int(v), extra
+
+    def _base_local_vertices(self) -> np.ndarray:
+        """Base-store vertex enumeration (pinned array or backend scan)."""
+        ps = self._pinned()
+        if ps is not None:
+            return ps.vertices
+        return self._local_vertices()
 
     def local_vertices(self) -> np.ndarray:
         """Sorted global ids of vertices with locally stored adjacency.
@@ -267,11 +361,17 @@ class GraphDB(abc.ABC):
         backend can enumerate cheaply from its own structures.  Under
         semi-EM the answer comes straight from the pinned vertex array —
         backends like StreamDB otherwise pay a full log replay here.
+        Stream-overlay sources union in so streamed-but-uncompacted
+        vertices are enumerable too.
         """
-        ps = self._pinned()
-        if ps is not None:
-            return ps.vertices
-        return self._local_vertices()
+        base = self._base_local_vertices()
+        view = self._overlay_view()
+        if view is None:
+            return base
+        extra = view.vertices()
+        if not len(extra):
+            return base
+        return np.union1d(base, extra)
 
     def _local_vertices(self) -> np.ndarray:
         """Backend enumeration of stored source vertices (sorted, unique)."""
@@ -305,8 +405,10 @@ class GraphDB(abc.ABC):
         """
         if not self._degree and self.stats.edges_stored == 0:
             # Restored store: rebuild the census with one charged pass.
+            # Base-only by contract — overlay degrees merge on top in
+            # degree_many, so pinning them here would double-count.
             total = 0
-            for v, neighbors in self.scan_adjacency(None, order="storage"):
+            for v, neighbors in self._scan_adjacency(None, order="storage"):
                 self._degree[int(v)] = len(neighbors)
                 total += len(neighbors)
             self.clock.advance(total * self.cpu.edge_visit_seconds)

@@ -106,7 +106,7 @@ class MySQLGraphDB(GraphDB):
             return np.empty(0, dtype=np.int64)
         return np.concatenate([self._unpack(blob) for (blob,) in rows])
 
-    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
+    def _expand_fringe(self, vertices, adjlist: LongArray) -> None:
         """Batch fringe SELECTs in ascending ``src`` order.
 
         Each statement still pays its parse/plan round trip (the structural
@@ -118,7 +118,7 @@ class MySQLGraphDB(GraphDB):
         """
         fringe = np.asarray(vertices, dtype=np.int64)
         if not self.batch_io or len(fringe) == 0:
-            super().expand_fringe(fringe, adjlist)
+            super()._expand_fringe(fringe, adjlist)
             return
         fetched = {int(v): self._get_adjacency(int(v)) for v in np.unique(fringe)}
         for v in fringe:
@@ -128,7 +128,7 @@ class MySQLGraphDB(GraphDB):
             self.clock.advance(len(neighbors) * self.cpu.edge_visit_seconds)
             adjlist.extend(neighbors)
 
-    def scan_adjacency(self, vertices=None, order: str = "storage"):
+    def _scan_adjacency(self, vertices=None, order: str = "storage"):
         """One range SELECT answers the whole bottom-up scan.
 
         ``WHERE src >= lo AND src <= hi ORDER BY src, chunk`` is planned by

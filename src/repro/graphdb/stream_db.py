@@ -97,19 +97,24 @@ class StreamGraphDB(GraphDB):
         #: Semi-EM selective-I/O directory: one ``(offset, nbytes, nedges,
         #: src_lo, src_hi)`` row per flushed log record, appended as the
         #: record is written (free — the extent is known at flush time).
-        #: ``None`` after a restore: the directory cannot be rebuilt without
-        #: the very full scan it exists to avoid, so a restored store falls
-        #: back to whole-log scans until its next flush... which appends to
-        #: a log whose earlier extents are unknown, so it stays ``None``.
+        #: ``None`` right after a restore (the extents cannot be known
+        #: without a full log pass); the *first* full scan after the
+        #: restore rebuilds it as a side effect — that pass touches every
+        #: committed byte anyway — so restored stores regain selective
+        #: adjacency I/O instead of falling back to whole-log scans forever.
         self._records: list[tuple[int, int, int, int, int]] | None = []
         #: Selective scans served from the directory / records they skipped.
         self.selective_scans = 0
         self.records_skipped = 0
+        #: Rebuild the directory on the next full device pass (set by a
+        #: restore, cleared once the pass has run).
+        self._rebuild_records = False
         self.restored = False
         if meta_device is not None:
             self.restored = self._restore()
             if self.restored:
                 self._records = None
+                self._rebuild_records = True
 
     # -- ingestion ------------------------------------------------------
 
@@ -298,8 +303,9 @@ class StreamGraphDB(GraphDB):
                 return hit
         else:
             board = None
+        rows = [] if self._rebuild_records else None
         if self.compress:
-            edges = self._scan_compressed(committed)
+            edges = self._scan_compressed(committed, rows=rows)
         else:
             chunks = []
             offset = 0
@@ -307,17 +313,32 @@ class StreamGraphDB(GraphDB):
             while remaining > 0:
                 take = min(remaining, _SCAN_CHUNK_EDGES)
                 raw = self.device.read(offset, take * _EDGE_BYTES)
-                chunks.append(
-                    np.frombuffer(raw, dtype="<u8").reshape(-1, 2).astype(np.int64)
-                )
+                chunk = np.frombuffer(raw, dtype="<u8").reshape(-1, 2).astype(np.int64)
+                if rows is not None and len(chunk):
+                    # Post-restore directory rebuild: the raw log has no
+                    # record framing, so synthesize fixed-slice rows with
+                    # the slice's true source-id extent.
+                    rows.append(
+                        (
+                            offset,
+                            take * _EDGE_BYTES,
+                            take,
+                            int(chunk[:, 0].min()),
+                            int(chunk[:, 0].max()),
+                        )
+                    )
+                chunks.append(chunk)
                 offset += take * _EDGE_BYTES
                 remaining -= take
             edges = np.vstack(chunks) if chunks else np.zeros((0, 2), dtype=np.int64)
+        if rows is not None:
+            self._records = rows
+            self._rebuild_records = False
         if board is not None:
             board.publish("log-replay", self._nedges, edges)
         return edges
 
-    def _scan_compressed(self, committed: int) -> "np.ndarray":
+    def _scan_compressed(self, committed: int, rows: list | None = None) -> "np.ndarray":
         """Stream and decode the compressed record log up to ``committed``.
 
         The device pass is the same large sequential chunking as the raw
@@ -326,6 +347,8 @@ class StreamGraphDB(GraphDB):
         :class:`CorruptBlockError` at the offending offset; the varint codec
         raises :class:`GraphStorageException` on non-monotone streams.
         Charges ``varint_decode_seconds`` per payload byte decoded.
+        ``rows`` (post-restore directory rebuild) collects one exact
+        ``(offset, nbytes, nedges, src_lo, src_hi)`` row per record parsed.
         """
         chunks = []
         offset = 0
@@ -374,6 +397,16 @@ class StreamGraphDB(GraphDB):
                     nbytes,
                     f"compressed edge record decoded {consumed} of its "
                     f"{nbytes} payload bytes",
+                )
+            if rows is not None and nedges:
+                rows.append(
+                    (
+                        off - _CREC_HEADER.size,
+                        _CREC_HEADER.size + nbytes,
+                        nedges,
+                        int(block[:, 0].min()),
+                        int(block[:, 0].max()),
+                    )
                 )
             parts.append(block)
             off += nbytes
@@ -502,7 +535,7 @@ class StreamGraphDB(GraphDB):
         self.log_edges_scanned += len(edges)
         return edges[edges[:, 0] == vertex, 1]
 
-    def expand_fringe(self, vertices, adjlist: LongArray) -> None:
+    def _expand_fringe(self, vertices, adjlist: LongArray) -> None:
         """One full scan answers the entire fringe (the Active-Disks trick).
 
         The CPU cost covers every log entry streamed past the filter, but
@@ -525,7 +558,7 @@ class StreamGraphDB(GraphDB):
         self.stats.edges_scanned += len(matched)
         adjlist.extend(matched)
 
-    def scan_adjacency(self, vertices=None, order: str = "storage"):
+    def _scan_adjacency(self, vertices=None, order: str = "storage"):
         """One log replay answers the whole bottom-up scan.
 
         The storage order of StreamDB *is* the log, so the sequential plan

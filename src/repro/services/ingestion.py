@@ -63,10 +63,38 @@ class IngestReport:
     lost_entries: int = 0
     #: Back-end indices (0-based, not cluster ranks) that died mid-ingest.
     failed_backends: tuple[int, ...] = ()
+    #: Stream batches folded into this report (1 for a one-shot ingest).
+    batches: int = 1
 
     @property
     def edges_per_second(self) -> float:
         return self.edges_ingested / self.seconds if self.seconds else float("inf")
+
+    def absorb(self, other: "IngestReport") -> None:
+        """Fold a later stream batch's report into this accumulated one.
+
+        Counters sum (seconds, edges, entries, windows, lost, batches; the
+        per-back-end entry counts elementwise), degraded/failed-set state
+        unions, and ``replication`` adopts the latest batch's value.
+        """
+        self.seconds += other.seconds
+        self.edges_ingested += other.edges_ingested
+        self.entries_stored += other.entries_stored
+        self.windows += other.windows
+        if len(self.per_backend_entries) == len(other.per_backend_entries):
+            self.per_backend_entries = [
+                a + b
+                for a, b in zip(self.per_backend_entries, other.per_backend_entries)
+            ]
+        else:
+            self.per_backend_entries = list(other.per_backend_entries)
+        self.replication = other.replication
+        self.degraded = self.degraded or other.degraded
+        self.lost_entries += other.lost_entries
+        self.failed_backends = tuple(
+            sorted(set(self.failed_backends) | set(other.failed_backends))
+        )
+        self.batches += other.batches
 
 
 @dataclass
@@ -217,8 +245,16 @@ class IngestionService:
         self.window_size = window_size
         self.ascii_input = ascii_input
 
-    def ingest(self, edges: np.ndarray) -> IngestReport:
+    def ingest(self, edges: np.ndarray, stores: list | None = None) -> IngestReport:
+        """Run one ingestion pass.
+
+        ``stores`` substitutes the write targets while keeping partitioning,
+        placement, and fault accounting identical — the streaming path hands
+        in per-back-end delta-log sinks that quack like GraphDBs
+        (``store_edges`` / ``finalize_ingest`` / ``flush``).
+        """
         edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        targets = stores if stores is not None else self.dbs
         F, P = self.num_frontends, len(self.dbs)
         # Per-run declusterer protocol: clear any state left by a previous
         # ingest (stale round-robin offsets / owner tables would leak into
@@ -243,7 +279,7 @@ class IngestionService:
             "writer",
             # One writer spec with P copies; each copy binds its own DB by
             # copy index (copy q sits on rank F + q).
-            lambda: _DispatchWriter(self.dbs, F),
+            lambda: _DispatchWriter(targets, F),
             placement=[F + q for q in range(P)],
         )
         graph.connect(

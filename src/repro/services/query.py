@@ -80,6 +80,11 @@ class QueryReport:
     #: Virtual seconds spent queued before admission (concurrent drains
     #: only; 0 when the query ran solo or was admitted immediately).
     queue_seconds: float = 0.0
+    #: Streaming deployments: the snapshot id (batch seq) the query was
+    #: admitted at.  The answer reflects exactly the batches published up
+    #: to this id, however many more landed while it ran.  ``None`` when
+    #: the deployment is not streaming.
+    snapshot_seq: int | None = None
 
     @property
     def edges_per_second(self) -> float:
@@ -104,6 +109,9 @@ class DrainReport:
     shared_served: int = 0
     #: Corrupt frames healed by read-repair after the drain.
     repairs: int = 0
+    #: Stream batches applied on every back-end mid-drain (in-drain ingest
+    #: via ``MSSG.query_many(stream_batches=...)``); 0 otherwise.
+    stream_batches: int = 0
 
     @property
     def edges_scanned(self) -> int:
@@ -413,7 +421,10 @@ class QueryService:
         return qid
 
     def drain(
-        self, max_inflight: int | None = None, shared_scans: bool | None = None
+        self,
+        max_inflight: int | None = None,
+        shared_scans: bool | None = None,
+        stream_feed=None,
     ) -> DrainReport:
         """Run every submitted query to completion, interleaved level-by-level.
 
@@ -424,6 +435,13 @@ class QueryService:
         device pass.  Answers are bit-identical to running the same queries
         back-to-back with :meth:`query`; only the virtual timeline (and the
         device work saved by sharing) differs.
+
+        ``stream_feed`` (a :class:`~repro.services.streaming.StreamFeed`)
+        interleaves ingest with the drain: its batches land on the delta
+        logs at pre-assigned scheduling rounds, and each query runs against
+        the snapshot published at its admission round — answers are
+        bit-identical to admitting the same query against a store that
+        stopped ingesting at that snapshot.
         """
         specs, self._submitted = self._submitted, []
         if not specs:
@@ -488,6 +506,11 @@ class QueryService:
                     inflight,
                     sharing,
                     make_gen=make_gen,
+                    streamer=(
+                        None
+                        if stream_feed is None
+                        else stream_feed.state.for_rank(stream_feed, q)
+                    ),
                 )
                 return out
 
@@ -499,17 +522,18 @@ class QueryService:
             per_rank = [ro.queries[spec.qid] for ro in rank_outs]
             results = [o.result for o in per_rank]
             if spec.analysis != "bfs":
-                reports.append(
-                    vp_report(
-                        spec.analysis,
-                        spec.params or {},
-                        results,
-                        seconds=max(o.latency_seconds for o in per_rank),
-                        edges_scanned=sum(o.edges_scanned for o in per_rank),
-                        tenant=spec.tenant,
-                        queue_seconds=max(o.queue_seconds for o in per_rank),
-                    )
+                vp = vp_report(
+                    spec.analysis,
+                    spec.params or {},
+                    results,
+                    seconds=max(o.latency_seconds for o in per_rank),
+                    edges_scanned=sum(o.edges_scanned for o in per_rank),
+                    tenant=spec.tenant,
+                    queue_seconds=max(o.queue_seconds for o in per_rank),
                 )
+                # Admission (and therefore the snapshot) is rank-uniform.
+                vp.snapshot_seq = per_rank[0].snapshot_seq
+                reports.append(vp)
                 continue
             levels = {r.found_level for r in results}
             if len(levels) != 1:
@@ -537,6 +561,7 @@ class QueryService:
                     deadline_exceeded=any(r.deadline_exceeded for r in results),
                     tenant=spec.tenant,
                     queue_seconds=max(o.queue_seconds for o in per_rank),
+                    snapshot_seq=per_rank[0].snapshot_seq,
                 )
             )
         return DrainReport(
@@ -545,6 +570,9 @@ class QueryService:
             rounds=max(ro.rounds for ro in rank_outs),
             shared_passes=sum(ro.shared_passes for ro in rank_outs),
             shared_served=sum(ro.shared_served for ro in rank_outs),
+            stream_batches=(
+                stream_feed.batches_applied if stream_feed is not None else 0
+            ),
         )
 
     def _bfs_analysis(

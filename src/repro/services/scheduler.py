@@ -84,6 +84,10 @@ class QueryOutcome:
     #: Admission -> completion on this rank's clock (includes time spent
     #: interleaved behind other queries — the client-observed latency).
     latency_seconds: float = 0.0
+    #: Streaming-mode snapshot id the query was admitted at (``None`` when
+    #: the deployment is not streaming).  Every slice of the query reads
+    #: the overlay pinned to this id, whatever lands mid-drain.
+    snapshot_seq: int | None = None
 
 
 @dataclass
@@ -144,6 +148,7 @@ def multiplex_program(
     max_inflight: int,
     shared_scans: bool,
     make_gen=None,
+    streamer=None,
 ):
     """Back-end rank program draining ``specs`` concurrently; see module doc.
 
@@ -152,7 +157,13 @@ def multiplex_program(
     ``make_gen(ctx, qid)``, when given, builds the query's level-marked
     generator instead of the default Algorithm-1 BFS — any generator
     speaking the same mark protocol (vertex programs included) can be
-    multiplexed.  Returns a :class:`RankDrainOutcome`.
+    multiplexed.  ``streamer`` (streaming deployments) is this rank's
+    handle on an in-drain ingest feed: ``step(round)`` applies the batches
+    due this round to the rank's delta log/overlay, and ``snapshot(round)``
+    is the rank-uniform snapshot id new admissions pin — each query slice
+    then runs with ``db._stream_snap`` set to its admission snapshot, so a
+    query never observes a batch published after it was admitted.  Returns
+    a :class:`RankDrainOutcome`.
     """
     if make_gen is None:
 
@@ -180,12 +191,26 @@ def multiplex_program(
                 edges_scanned=st["edges"],
                 queue_seconds=st["admitted"] - t0,
                 latency_seconds=ctx.clock.now - st["admitted"],
+                snapshot_seq=st["snap"],
             )
             del active[qid]
             abort.discard(qid)
 
-        while waiting or active:
+        # The round loop outlives the last query if the stream feed still
+        # has batches planned for later rounds: the plan (and so the exit
+        # round) is static, keeping the extra empty rounds rank-uniform.
+        while (
+            waiting
+            or active
+            or (streamer is not None and rounds < streamer.last_round)
+        ):
             rounds += 1
+            # Streaming: apply the batches due this round to this rank's
+            # delta log + overlay before anything is admitted or advanced.
+            # The round counter is rank-uniform, so every rank applies (and
+            # publishes) the same batches at the same point of the drain.
+            if streamer is not None:
+                streamer.step(rounds)
             # FIFO admission up to the in-flight cap.  Advancing a fresh
             # generator to its pre-admission mark costs no comm (and a
             # source==dest query completes right here), so admission stays
@@ -193,10 +218,20 @@ def multiplex_program(
             while waiting and len(active) < max_inflight:
                 qid = waiting.popleft()
                 gen = make_gen(ctx, qid)
-                st = {"gen": gen, "admitted": ctx.clock.now, "edges": 0, "next_dir": None}
+                st = {
+                    "gen": gen,
+                    "admitted": ctx.clock.now,
+                    "edges": 0,
+                    "next_dir": None,
+                    # Snapshot resolution happens HERE, at admission: the
+                    # id is pinned for the query's whole life.
+                    "snap": streamer.snapshot(rounds) if streamer is not None else None,
+                }
                 active[qid] = st
                 before = db.stats.edges_scanned
+                db._stream_snap = st["snap"]
                 out = yield from _advance(gen)
+                db._stream_snap = None
                 st["edges"] += db.stats.edges_scanned - before
                 if out[0] == "done":
                     finish(qid, st, out[1])
@@ -215,6 +250,9 @@ def multiplex_program(
             for qid in order:
                 st = active[qid]
                 before = db.stats.edges_scanned
+                # Every slice reads at the query's admission snapshot,
+                # whatever batches the feed published since.
+                db._stream_snap = st["snap"]
                 # The generator is suspended at a level mark; "abort" (a
                 # rank-uniform decision from last round's deadline
                 # allreduce) makes it wind down with no further comm.
@@ -224,6 +262,7 @@ def multiplex_program(
                 while out[0] == "mark" and out[1][2]:
                     st["next_dir"] = out[1][3]
                     out = yield from _advance(st["gen"])
+                db._stream_snap = None
                 st["edges"] += db.stats.edges_scanned - before
                 if out[0] == "done":
                     finish(qid, st, out[1])

@@ -10,11 +10,17 @@ a constant factor (the "slow disk" straggler mode).
 
 Triggers are expressed in the simulation's own units — virtual seconds on
 the owning node's clock, or a count of operations the device has served —
-so fault schedules are exactly reproducible.  Note that node clocks reset
-at the start of every :meth:`SimCluster.run`, so ``at_time`` is relative to
-the *current* run; install a plan after ingestion (see
+so fault schedules are exactly reproducible.  Plans can be installed at
+any point of a deployment's life: before ingest (to fail the ingestion
+itself), between streamed batches, or between ingest and queries.  The
+only subtlety is the clock: node clocks reset at the start of every
+:meth:`SimCluster.run`, so an ``at_time`` trigger is relative to whichever
+run comes next, while ``after_ops`` counts a device's lifetime operations
+and is run-agnostic.  Install a plan after ingestion (see
 ``MSSG.set_fault_plan``) to target queries only, or :meth:`FaultPlan.disarm`
-it around phases that should stay healthy.
+it around phases that should stay healthy; only genuinely invalid triggers
+(unknown kind, node outside the cluster, negative/senseless scopes) raise
+:class:`~repro.util.errors.ConfigError`.
 """
 
 from __future__ import annotations
